@@ -1,0 +1,77 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Every binary reads its scale from ECA_* environment variables so the same
+// build can run a CI-sized experiment or something closer to paper scale:
+//   ECA_USERS (default 30)   users J
+//   ECA_SLOTS (default 48)   slots T (paper: 60 one-minute slots)
+//   ECA_REPS  (default 2)    repetitions per configuration
+//   ECA_SEED  (default 1)    base seed
+//   ECA_CSV   (default 0)    additionally dump CSV rows
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/env.h"
+#include "common/table.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace eca::bench {
+
+struct BenchScale {
+  std::size_t users;
+  std::size_t slots;
+  int repetitions;
+  std::uint64_t seed;
+  bool csv;
+};
+
+inline BenchScale read_scale() {
+  BenchScale scale;
+  scale.users = static_cast<std::size_t>(env_int("ECA_USERS", 30));
+  scale.slots = static_cast<std::size_t>(env_int("ECA_SLOTS", 48));
+  scale.repetitions = static_cast<int>(env_int("ECA_REPS", 2));
+  scale.seed = static_cast<std::uint64_t>(env_int("ECA_SEED", 1));
+  scale.csv = env_bool("ECA_CSV", false);
+  return scale;
+}
+
+// Price-calibration knobs (the paper fixes only *relative* price ratios, so
+// the dynamic/static balance is a free parameter of the reproduction):
+//   ECA_BW_SCALE    bandwidth price scale (default 0.4)
+//   ECA_RECON_MEAN  mean reconfiguration price (default 1.0)
+inline sim::ScenarioOptions scenario_from_scale(const BenchScale& scale) {
+  sim::ScenarioOptions options;
+  options.num_users = scale.users;
+  options.num_slots = scale.slots;
+  options.seed = scale.seed;
+  options.bandwidth_price.scale =
+      env_double("ECA_BW_SCALE", options.bandwidth_price.scale);
+  options.reconfiguration_price.mean =
+      env_double("ECA_RECON_MEAN", options.reconfiguration_price.mean);
+  return options;
+}
+
+inline void print_header(const char* figure, const char* what,
+                         const BenchScale& scale) {
+  std::printf("=== %s: %s ===\n", figure, what);
+  std::printf("scale: %zu users, %zu slots, %d repetitions, seed %llu\n",
+              scale.users, scale.slots, scale.repetitions,
+              static_cast<unsigned long long>(scale.seed));
+}
+
+// Formats "mean ± stddev".
+inline std::string ratio_cell(const RunningStats& stats) {
+  return Table::num(stats.mean(), 3) + " ± " + Table::num(stats.stddev(), 3);
+}
+
+inline void emit(const Table& table, bool csv) {
+  table.print(std::cout);
+  if (csv) {
+    std::printf("--- csv ---\n");
+    table.print_csv(std::cout);
+  }
+}
+
+}  // namespace eca::bench

@@ -1,0 +1,99 @@
+// Solver microbenchmarks (google-benchmark): scaling of the three solvers
+// that replace IPOPT/GLPK in this reproduction —
+//  * InteriorPointLp on random dense-ish LPs,
+//  * PdhgLp on the same family,
+//  * RegularizedSolver (the P2 primal-dual method) on growing I x J, which
+//    bounds the per-slot latency of the online algorithm.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "solve/ipm_lp.h"
+#include "solve/pdhg_lp.h"
+#include "solve/regularized_solver.h"
+
+namespace {
+
+using namespace eca;
+using namespace eca::solve;
+
+LpProblem random_lp(Rng& rng, std::size_t n, std::size_t m) {
+  LpProblem lp;
+  linalg::Vec x0(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x0[j] = rng.uniform(0.2, 2.0);
+    lp.add_variable(rng.uniform(0.1, 2.0), 0.0, x0[j] + rng.uniform(0.5, 2.0));
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    double activity = 0.0;
+    const auto row = lp.add_row(0.0, kInf);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform() < 0.3) {
+        const double a = rng.uniform(0.1, 1.5);
+        lp.set_coefficient(row, j, a);
+        activity += a * x0[j];
+      }
+    }
+    lp.row_lower[row] = activity - rng.uniform(0.05, 0.5);
+  }
+  return lp;
+}
+
+RegularizedProblem random_p2(Rng& rng, std::size_t clouds,
+                             std::size_t users) {
+  RegularizedProblem p;
+  p.num_clouds = clouds;
+  p.num_users = users;
+  p.demand.resize(users);
+  for (auto& d : p.demand) d = static_cast<double>(rng.uniform_int(1, 5));
+  const double total = linalg::sum(p.demand);
+  p.capacity.assign(clouds, 1.25 * total / static_cast<double>(clouds));
+  p.linear_cost.resize(clouds * users);
+  for (auto& v : p.linear_cost) v = rng.uniform(0.5, 3.0);
+  p.recon_price.assign(clouds, 1.0);
+  p.migration_price.assign(clouds, 1.0);
+  p.prev.assign(clouds * users, 0.0);
+  for (std::size_t j = 0; j < users; ++j) {
+    p.prev[p.index(rng.uniform_index(clouds), j)] = p.demand[j];
+  }
+  return p;
+}
+
+void BM_InteriorPointLp(benchmark::State& state) {
+  Rng rng(42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LpProblem lp = random_lp(rng, n, n / 2);
+  for (auto _ : state) {
+    const LpSolution sol = InteriorPointLp().solve(lp);
+    benchmark::DoNotOptimize(sol.objective_value);
+  }
+}
+BENCHMARK(BM_InteriorPointLp)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_PdhgLp(benchmark::State& state) {
+  Rng rng(42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LpProblem lp = random_lp(rng, n, n / 2);
+  PdhgOptions options;
+  options.tolerance = 1e-5;
+  for (auto _ : state) {
+    const LpSolution sol = PdhgLp(options).solve(lp);
+    benchmark::DoNotOptimize(sol.objective_value);
+  }
+}
+BENCHMARK(BM_PdhgLp)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_RegularizedSolver(benchmark::State& state) {
+  Rng rng(42);
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const RegularizedProblem p = random_p2(rng, 15, users);
+  for (auto _ : state) {
+    const RegularizedSolution sol = RegularizedSolver().solve(p);
+    benchmark::DoNotOptimize(sol.objective_value);
+  }
+}
+// 15 clouds as in the paper; users span CI to paper scale (~300).
+BENCHMARK(BM_RegularizedSolver)->Arg(30)->Arg(100)->Arg(300);
+
+}  // namespace
+
+BENCHMARK_MAIN();

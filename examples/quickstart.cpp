@@ -1,0 +1,59 @@
+// Quickstart: build an edge-cloud scenario, run the paper's online
+// algorithm, and compare it with the offline optimum.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the three core API layers:
+//   1. sim::make_random_walk_instance — generate a problem instance
+//      (15 Rome metro-station edge clouds, random-walk users, priced
+//      exactly as in the paper's evaluation),
+//   2. algo::OnlineApprox + sim::Simulator — run the regularization-based
+//      online algorithm slot by slot,
+//   3. algo::solve_offline — the full-horizon LP lower bound, giving the
+//      empirical competitive ratio.
+#include <cstdio>
+
+#include "algo/offline.h"
+#include "algo/online_approx.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace eca;
+
+  // 1. A small instance: 12 users walking the Rome metro for 15 minutes.
+  sim::ScenarioOptions options;
+  options.num_users = 12;
+  options.num_slots = 15;
+  options.seed = 7;
+  const model::Instance instance = sim::make_random_walk_instance(options);
+  std::printf("instance: %zu clouds, %zu users, %zu slots, demand %.0f\n",
+              instance.num_clouds, instance.num_users, instance.num_slots,
+              instance.total_demand());
+
+  // 2. Run the online algorithm. It sees one slot at a time and pays
+  //    operation, service-quality, reconfiguration and migration costs.
+  algo::OnlineApprox online;  // default ε1 = ε2 = 1
+  const sim::SimulationResult result = sim::Simulator::run(instance, online);
+  std::printf("\nonline-approx total cost: %.2f\n", result.weighted_total);
+  std::printf("  operation       %.2f\n", result.cost.operation);
+  std::printf("  service quality %.2f\n", result.cost.service_quality);
+  std::printf("  reconfiguration %.2f\n", result.cost.reconfiguration);
+  std::printf("  migration       %.2f\n", result.cost.migration);
+  std::printf("  feasibility: max constraint violation %.2e\n",
+              result.max_violation);
+
+  // 3. The offline optimum (sees the whole future) for the ratio.
+  const algo::OfflineResult offline = algo::solve_offline(instance);
+  const double opt =
+      sim::Simulator::score(instance, "offline", offline.allocations)
+          .weighted_total;
+  std::printf("\noffline optimum: %.2f\n", opt);
+  std::printf("empirical competitive ratio: %.3f (paper reports ~1.1)\n",
+              result.weighted_total / opt);
+
+  // Theorem 2's worst-case guarantee for these capacities and ε = 1.
+  std::printf("theoretical worst-case bound r = %.1f\n",
+              model::competitive_ratio_bound(instance, 1.0, 1.0));
+  return 0;
+}

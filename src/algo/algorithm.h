@@ -1,0 +1,41 @@
+// Online algorithm interface.
+//
+// Online algorithms see the instance one slot at a time: at slot t they
+// receive the current prices/attachments and their own previous allocation,
+// and must commit to x_{.,.,t} before seeing the future. The offline
+// optimum (the competitive-ratio denominator) is computed by OfflineOpt,
+// which sees the whole instance.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/costs.h"
+#include "model/instance.h"
+
+namespace eca::algo {
+
+using model::Allocation;
+using model::AllocationSequence;
+using model::Instance;
+
+class OnlineAlgorithm {
+ public:
+  virtual ~OnlineAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Called once before a run; may precompute per-instance state.
+  virtual void reset(const Instance& instance) { (void)instance; }
+
+  // Decides the allocation for slot t. `previous` is this algorithm's own
+  // decision at t-1 (all zeros at t = 0). Implementations must return a
+  // feasible allocation (demand, capacity, non-negativity).
+  [[nodiscard]] virtual Allocation decide(const Instance& instance,
+                                          std::size_t t,
+                                          const Allocation& previous) = 0;
+};
+
+using AlgorithmPtr = std::unique_ptr<OnlineAlgorithm>;
+
+}  // namespace eca::algo

@@ -1,0 +1,47 @@
+#include "algo/baselines.h"
+
+#include "algo/slot_lp.h"
+#include "common/check.h"
+
+namespace eca::algo {
+namespace {
+
+solve::LpSolution solve_or_die(const solve::LpProblem& lp, const char* who,
+                               std::size_t t) {
+  const solve::LpSolution sol = solve::InteriorPointLp().solve(lp);
+  ECA_CHECK(sol.status == solve::SolveStatus::kOptimal, who,
+            " LP failed at slot ", t, ": ", solve::to_string(sol.status));
+  return sol;
+}
+
+}  // namespace
+
+Allocation AtomisticAlgorithm::decide(const Instance& instance, std::size_t t,
+                                      const Allocation& /*previous*/) {
+  const StaticSlotLp built = build_static_slot_lp(
+      instance, t, include_operation_, include_service_quality_);
+  const solve::LpSolution sol = solve_or_die(built.lp, name().c_str(), t);
+  return extract_static(instance, sol.x);
+}
+
+Allocation OnlineGreedy::decide(const Instance& instance, std::size_t t,
+                                const Allocation& previous) {
+  const GreedySlotLp built = build_greedy_slot_lp(instance, t, previous);
+  const solve::LpSolution sol = solve_or_die(built.lp, "online-greedy", t);
+  return built.extract(instance, sol.x);
+}
+
+void StaticOnce::reset(const Instance& instance) {
+  const StaticSlotLp built = build_static_slot_lp(instance, 0, true, true);
+  const solve::LpSolution sol = solve_or_die(built.lp, "static-once", 0);
+  fixed_ = extract_static(instance, sol.x);
+}
+
+Allocation StaticOnce::decide(const Instance& instance, std::size_t /*t*/,
+                              const Allocation& /*previous*/) {
+  ECA_CHECK(fixed_.num_clouds == instance.num_clouds,
+            "StaticOnce::reset was not called");
+  return fixed_;
+}
+
+}  // namespace eca::algo

@@ -1,0 +1,73 @@
+// The baseline algorithms of the paper's evaluation (Section V-B).
+//
+// Atomistic group (static cost only, per slot):
+//   * perf-opt — minimize Cost_sq only
+//   * oper-opt — minimize Cost_op only
+//   * stat-opt — minimize Cost_op + Cost_sq
+// Holistic group:
+//   * online-greedy — minimize the full P0 slot cost given the previous
+//     slot's decision, no look-ahead
+//   * static-once   — optimize the static cost once in slot 0 and never
+//     adapt; the "static approach typically employed in edge clouds" that
+//     the paper's introduction compares against ("up to 4x reduction").
+#pragma once
+
+#include "algo/algorithm.h"
+#include "solve/ipm_lp.h"
+
+namespace eca::algo {
+
+// Shared implementation for the three atomistic baselines.
+class AtomisticAlgorithm : public OnlineAlgorithm {
+ public:
+  AtomisticAlgorithm(std::string name, bool include_operation,
+                     bool include_service_quality)
+      : name_(std::move(name)),
+        include_operation_(include_operation),
+        include_service_quality_(include_service_quality) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] Allocation decide(const Instance& instance, std::size_t t,
+                                  const Allocation& previous) override;
+
+ private:
+  std::string name_;
+  bool include_operation_;
+  bool include_service_quality_;
+};
+
+class PerfOpt final : public AtomisticAlgorithm {
+ public:
+  PerfOpt() : AtomisticAlgorithm("perf-opt", false, true) {}
+};
+
+class OperOpt final : public AtomisticAlgorithm {
+ public:
+  OperOpt() : AtomisticAlgorithm("oper-opt", true, false) {}
+};
+
+class StatOpt final : public AtomisticAlgorithm {
+ public:
+  StatOpt() : AtomisticAlgorithm("stat-opt", true, true) {}
+};
+
+class OnlineGreedy final : public OnlineAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "online-greedy"; }
+  [[nodiscard]] Allocation decide(const Instance& instance, std::size_t t,
+                                  const Allocation& previous) override;
+};
+
+class StaticOnce final : public OnlineAlgorithm {
+ public:
+  [[nodiscard]] std::string name() const override { return "static-once"; }
+  void reset(const Instance& instance) override;
+  [[nodiscard]] Allocation decide(const Instance& instance, std::size_t t,
+                                  const Allocation& previous) override;
+
+ private:
+  Allocation fixed_;
+};
+
+}  // namespace eca::algo

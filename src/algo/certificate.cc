@@ -1,0 +1,47 @@
+#include "algo/certificate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace eca::algo {
+
+void DualCertificate::add_slot(const model::Instance& instance, std::size_t t,
+                               const solve::RegularizedSolution& solution) {
+  ECA_CHECK(t < instance.num_slots);
+  ECA_CHECK(solution.theta.size() == instance.num_users);
+  ECA_CHECK(solution.rho.size() == instance.num_clouds);
+  const double lambda_total = instance.total_demand();
+  double slot_value = 0.0;
+  for (std::size_t j = 0; j < instance.num_users; ++j) {
+    slot_value += instance.demand[j] * solution.theta[j];
+  }
+  for (std::size_t i = 0; i < instance.num_clouds; ++i) {
+    const double excess = lambda_total - instance.clouds[i].capacity;
+    if (excess > 0.0) slot_value += excess * solution.rho[i];
+  }
+  value_ += slot_value;
+  // The P2 duals are already in weighted units (the subproblem costs carry
+  // the weights), but the access-delay constant is not part of P2; weight
+  // it here.
+  for (std::size_t j = 0; j < instance.num_users; ++j) {
+    access_constant_ +=
+        instance.weights.static_weight * instance.access_delay[t][j];
+  }
+  ++slots_;
+}
+
+double DualCertificate::opt_lower_bound(
+    const model::Instance& instance) const {
+  return value() - model::lemma1_sigma(instance);
+}
+
+double DualCertificate::certified_ratio(
+    double online_cost, const model::Instance& instance) const {
+  const double bound = opt_lower_bound(instance);
+  if (bound <= 0.0) return std::numeric_limits<double>::infinity();
+  return online_cost / bound;
+}
+
+}  // namespace eca::algo

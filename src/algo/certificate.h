@@ -1,0 +1,54 @@
+// Dual certificate: the competitive analysis of Section IV, executable.
+//
+// Lemma 2 constructs a feasible solution S_D for the time-expanded dual
+// program D out of the per-slot KKT multipliers of P2; by weak duality its
+// objective
+//
+//   D = Σ_t [ Σ_j λ_j θ_{j,t} + Σ_i (Σ_j λ_j − C_i)^+ ρ_{i,t} ]
+//
+// lower-bounds OPT(P3) <= OPT(P1), and Lemma 1 gives
+// OPT(P0) >= OPT(P1) − σ >= D − σ with σ = Σ_i b_i^out C_i. An online run
+// can therefore certify its own competitive ratio — cost / (D − σ) — with
+// no offline solve at all.
+//
+// Validity requires the *paper-pure* subproblem (the dual construction
+// hinges on the stationarity equation (15a) without the extra capacity
+// multiplier), i.e. OnlineApproxOptions::enforce_capacity = false. The
+// static part of the service-quality cost (Σ_t Σ_j d(j, l_{j,t})), which
+// the analysis carries as an additive constant on both sides, is added back
+// here so the bound applies to the full P0 objective.
+#pragma once
+
+#include "model/costs.h"
+#include "model/instance.h"
+#include "solve/regularized_solver.h"
+
+namespace eca::algo {
+
+class DualCertificate {
+ public:
+  // Accumulates slot t's contribution from the P2 duals.
+  void add_slot(const model::Instance& instance, std::size_t t,
+                const solve::RegularizedSolution& solution);
+
+  void clear() { value_ = 0.0; access_constant_ = 0.0; slots_ = 0; }
+
+  // The accumulated dual objective D (plus the access-delay constant).
+  [[nodiscard]] double value() const { return value_ + access_constant_; }
+  [[nodiscard]] std::size_t slots() const { return slots_; }
+
+  // Lower bound on the weighted optimal P0 cost: D − σ.
+  [[nodiscard]] double opt_lower_bound(const model::Instance& instance) const;
+
+  // Certified competitive ratio of an online cost against the bound (inf
+  // when the bound is not positive).
+  [[nodiscard]] double certified_ratio(double online_cost,
+                                       const model::Instance& instance) const;
+
+ private:
+  double value_ = 0.0;
+  double access_constant_ = 0.0;
+  std::size_t slots_ = 0;
+};
+
+}  // namespace eca::algo

@@ -1,0 +1,47 @@
+// Offline optimum: the full-horizon LP relaxation of P0 with all input
+// revealed in advance (the paper's offline-opt baseline and the denominator
+// of every empirical competitive ratio).
+//
+// Formulation over all T slots with variables x_{i,j,t}, reconfiguration
+// aggregates u_{i,t} and migration aux v_{i,j,t} >= (x_t - x_{t-1})^+; the
+// out-direction telescopes to Σ_t b^out (v - x_t + x_{t-1}) =
+// b^out (Σ_t v - x_T), so no second aux family is needed.
+//
+// Solved with the dense interior-point method when small enough, and with
+// the first-order PDHG solver (PDLP-lite) at benchmark scale.
+#pragma once
+
+#include "model/costs.h"
+#include "model/instance.h"
+#include "solve/lp_problem.h"
+
+namespace eca::algo {
+
+struct OfflineOptions {
+  // Force a solver; kAuto picks IPM below `ipm_row_limit` total rows.
+  enum class Solver { kAuto, kInteriorPoint, kPdhg };
+  Solver solver = Solver::kAuto;
+  std::size_t ipm_row_limit = 700;
+  // First-order tolerance for the PDHG path. 5e-4 keeps the objective
+  // (the competitive-ratio denominator) within ~0.1% of optimal — far below
+  // the differences the figures report — at a fraction of the tail cost of
+  // chasing 1e-5; see tests/algo/offline_test.cc for the accuracy check.
+  double pdhg_tolerance = 5e-4;
+  int pdhg_max_iterations = 400000;
+  bool verbose = false;
+};
+
+struct OfflineResult {
+  model::AllocationSequence allocations;
+  double objective_value = 0.0;  // LP objective (weighted P0)
+  solve::SolveStatus status = solve::SolveStatus::kNumericalError;
+  int iterations = 0;
+};
+
+// Builds the time-expanded LP (exposed for tests).
+solve::LpProblem build_offline_lp(const model::Instance& instance);
+
+OfflineResult solve_offline(const model::Instance& instance,
+                            const OfflineOptions& options = {});
+
+}  // namespace eca::algo

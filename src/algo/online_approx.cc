@@ -1,0 +1,62 @@
+#include "algo/online_approx.h"
+
+#include "common/check.h"
+
+namespace eca::algo {
+
+solve::RegularizedProblem OnlineApprox::build_subproblem(
+    const Instance& instance, std::size_t t, const Allocation& previous) const {
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  solve::RegularizedProblem p;
+  p.num_clouds = kI;
+  p.num_users = kJ;
+  p.eps1 = options_.eps1;
+  p.eps2 = options_.eps2;
+  p.enforce_capacity = options_.enforce_capacity;
+  p.demand = instance.demand;
+  p.capacity = instance.capacities();
+  p.linear_cost.resize(kI * kJ);
+  const double ws = instance.weights.static_weight;
+  const double wd = instance.weights.dynamic_weight;
+  for (std::size_t i = 0; i < kI; ++i) {
+    const double op = instance.operation_price[t][i];
+    for (std::size_t j = 0; j < kJ; ++j) {
+      p.linear_cost[p.index(i, j)] =
+          ws * (op + instance.service_coefficient(t, i, j));
+    }
+  }
+  p.recon_price.resize(kI);
+  p.migration_price.resize(kI);
+  for (std::size_t i = 0; i < kI; ++i) {
+    p.recon_price[i] = options_.use_reconfiguration_regularizer
+                           ? wd * instance.clouds[i].reconfiguration_price
+                           : 0.0;
+    p.migration_price[i] = options_.use_migration_regularizer
+                               ? wd * instance.clouds[i].migration_price()
+                               : 0.0;
+  }
+  p.prev = previous.x;
+  if (p.prev.empty()) p.prev.assign(kI * kJ, 0.0);
+  return p;
+}
+
+void OnlineApprox::reset(const Instance& /*instance*/) {
+  certificate_.clear();
+}
+
+Allocation OnlineApprox::decide(const Instance& instance, std::size_t t,
+                                const Allocation& previous) {
+  const solve::RegularizedProblem p = build_subproblem(instance, t, previous);
+  const solve::RegularizedSolution sol =
+      solve::RegularizedSolver(options_.solver).solve(p);
+  ECA_CHECK(sol.status == solve::SolveStatus::kOptimal,
+            "P2 subproblem failed at slot ", t, ": ",
+            solve::to_string(sol.status));
+  certificate_.add_slot(instance, t, sol);
+  Allocation alloc(instance.num_clouds, instance.num_users);
+  alloc.x = sol.x;
+  return alloc;
+}
+
+}  // namespace eca::algo

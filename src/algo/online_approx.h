@@ -1,0 +1,56 @@
+// The paper's contribution: the regularization-based online algorithm
+// (Section III-B). Each slot solves the convex program P2 — the slot's
+// static cost plus relative-entropy regularizers that charge (smoothed)
+// reconfiguration and migration against the previous slot's decision — and
+// plays its optimum.
+#pragma once
+
+#include "algo/algorithm.h"
+#include "algo/certificate.h"
+#include "solve/regularized_solver.h"
+
+namespace eca::algo {
+
+struct OnlineApproxOptions {
+  double eps1 = 1.0;  // ε1 of the aggregate (reconfiguration) regularizer
+  double eps2 = 1.0;  // ε2 of the per-user (migration) regularizer
+  // Keep the explicit capacity rows (see RegularizedProblem::enforce_capacity
+  // for why this defaults to on).
+  bool enforce_capacity = true;
+  // Disable individual regularizers (ablation; both false => per-slot
+  // static optimization in disguise).
+  bool use_reconfiguration_regularizer = true;
+  bool use_migration_regularizer = true;
+  solve::RegularizedOptions solver;
+};
+
+class OnlineApprox final : public OnlineAlgorithm {
+ public:
+  explicit OnlineApprox(OnlineApproxOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "online-approx"; }
+
+  void reset(const Instance& instance) override;
+
+  [[nodiscard]] Allocation decide(const Instance& instance, std::size_t t,
+                                  const Allocation& previous) override;
+
+  // Builds the slot-t subproblem (exposed for tests and diagnostics).
+  [[nodiscard]] solve::RegularizedProblem build_subproblem(
+      const Instance& instance, std::size_t t,
+      const Allocation& previous) const;
+
+  // Dual certificate accumulated over the decided slots (Section IV's
+  // machinery); a valid OPT lower bound only in paper-pure mode
+  // (enforce_capacity = false) — see certificate.h.
+  [[nodiscard]] const DualCertificate& certificate() const {
+    return certificate_;
+  }
+
+ private:
+  OnlineApproxOptions options_;
+  DualCertificate certificate_;
+};
+
+}  // namespace eca::algo

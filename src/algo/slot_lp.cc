@@ -1,0 +1,134 @@
+#include "algo/slot_lp.h"
+
+#include "common/check.h"
+
+namespace eca::algo {
+
+StaticSlotLp build_static_slot_lp(const Instance& instance, std::size_t t,
+                                  bool include_operation,
+                                  bool include_service_quality) {
+  ECA_CHECK(t < instance.num_slots);
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  const double ws = instance.weights.static_weight;
+  StaticSlotLp out;
+  solve::LpProblem& lp = out.lp;
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      double cost = 0.0;
+      if (include_operation) cost += instance.operation_price[t][i];
+      if (include_service_quality) {
+        cost += instance.service_coefficient(t, i, j);
+      }
+      lp.add_variable(ws * cost);
+    }
+  }
+  for (std::size_t j = 0; j < kJ; ++j) {
+    const auto row = lp.add_row_geq(instance.demand[j]);
+    for (std::size_t i = 0; i < kI; ++i) {
+      lp.set_coefficient(row, i * kJ + j, 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < kI; ++i) {
+    const auto row = lp.add_row_leq(instance.clouds[i].capacity);
+    for (std::size_t j = 0; j < kJ; ++j) {
+      lp.set_coefficient(row, i * kJ + j, 1.0);
+    }
+  }
+  return out;
+}
+
+Allocation extract_static(const Instance& instance,
+                          const solve::Vec& solution) {
+  Allocation alloc(instance.num_clouds, instance.num_users);
+  ECA_CHECK(solution.size() >= alloc.x.size());
+  for (std::size_t idx = 0; idx < alloc.x.size(); ++idx) {
+    alloc.x[idx] = std::max(solution[idx], 0.0);
+  }
+  return alloc;
+}
+
+GreedySlotLp build_greedy_slot_lp(const Instance& instance, std::size_t t,
+                                  const Allocation& previous) {
+  ECA_CHECK(t < instance.num_slots);
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  const double ws = instance.weights.static_weight;
+  const double wd = instance.weights.dynamic_weight;
+
+  GreedySlotLp out;
+  solve::LpProblem& lp = out.lp;
+  out.s_offset = 0;
+  // Kept workload s_ij in [0, x_prev_ij]: static cost minus the out-
+  // migration refund (keeping a unit avoids paying b^out on it).
+  for (std::size_t i = 0; i < kI; ++i) {
+    const auto& cloud = instance.clouds[i];
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const double static_cost =
+          ws * (instance.operation_price[t][i] +
+                instance.service_coefficient(t, i, j));
+      double prev = previous.x.empty() ? 0.0 : previous.at(i, j);
+      // Solver dust in the previous allocation would create degenerate
+      // micro-boxes; treat it as zero.
+      if (prev < 1e-9) prev = 0.0;
+      lp.add_variable(static_cost - wd * cloud.migration_out_price, 0.0, prev);
+    }
+  }
+  out.w_offset = lp.num_vars;
+  // New workload w_ij >= 0: static cost plus in-migration price.
+  for (std::size_t i = 0; i < kI; ++i) {
+    const auto& cloud = instance.clouds[i];
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const double static_cost =
+          ws * (instance.operation_price[t][i] +
+                instance.service_coefficient(t, i, j));
+      lp.add_variable(static_cost + wd * cloud.migration_in_price);
+    }
+  }
+  out.u_offset = lp.num_vars;
+  // Reconfiguration aggregate u_i >= (X_i - X_i_prev)^+.
+  for (std::size_t i = 0; i < kI; ++i) {
+    lp.add_variable(wd * instance.clouds[i].reconfiguration_price);
+  }
+
+  const model::Vec prev_totals =
+      previous.x.empty() ? model::Vec(kI, 0.0) : previous.cloud_totals();
+  for (std::size_t j = 0; j < kJ; ++j) {
+    const auto row = lp.add_row_geq(instance.demand[j]);
+    for (std::size_t i = 0; i < kI; ++i) {
+      lp.set_coefficient(row, out.s_offset + i * kJ + j, 1.0);
+      lp.set_coefficient(row, out.w_offset + i * kJ + j, 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < kI; ++i) {
+    const auto row = lp.add_row_leq(instance.clouds[i].capacity);
+    for (std::size_t j = 0; j < kJ; ++j) {
+      lp.set_coefficient(row, out.s_offset + i * kJ + j, 1.0);
+      lp.set_coefficient(row, out.w_offset + i * kJ + j, 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < kI; ++i) {
+    // u_i - Σ_j (s + w)_ij >= -X_i_prev.
+    const auto row = lp.add_row_geq(-prev_totals[i]);
+    lp.set_coefficient(row, out.u_offset + i, 1.0);
+    for (std::size_t j = 0; j < kJ; ++j) {
+      lp.set_coefficient(row, out.s_offset + i * kJ + j, -1.0);
+      lp.set_coefficient(row, out.w_offset + i * kJ + j, -1.0);
+    }
+  }
+  return out;
+}
+
+Allocation GreedySlotLp::extract(const Instance& instance,
+                                 const solve::Vec& solution) const {
+  Allocation alloc(instance.num_clouds, instance.num_users);
+  const std::size_t n = alloc.x.size();
+  ECA_CHECK(solution.size() >= w_offset + n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    alloc.x[idx] = std::max(solution[s_offset + idx], 0.0) +
+                   std::max(solution[w_offset + idx], 0.0);
+  }
+  return alloc;
+}
+
+}  // namespace eca::algo

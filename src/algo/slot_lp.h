@@ -1,0 +1,49 @@
+// Per-slot LP builders shared by the baseline algorithms.
+//
+// * Static LP: minimize (a subset of) the slot's static cost over the
+//   demand/capacity polytope — used by perf-opt, oper-opt, stat-opt and
+//   static-once.
+// * Greedy LP: minimize the full P0 slot cost (static + reconfiguration +
+//   migration w.r.t. the previous allocation). The positive parts are
+//   linearized without migration rows by splitting x_ij = s_ij + w_ij with
+//   s_ij ∈ [0, x_prev_ij]: s is the "kept" workload (out-migration refund
+//   −b^out per unit), w is newly arrived workload (+b^in per unit); the
+//   constant Σ b^out x_prev drops out of the argmin.
+#pragma once
+
+#include "model/instance.h"
+#include "solve/lp_problem.h"
+
+namespace eca::algo {
+
+using model::Allocation;
+using model::Instance;
+
+struct StaticSlotLp {
+  solve::LpProblem lp;
+  // x_{i,j} lives at variable index i * J + j.
+};
+
+StaticSlotLp build_static_slot_lp(const Instance& instance, std::size_t t,
+                                  bool include_operation,
+                                  bool include_service_quality);
+
+struct GreedySlotLp {
+  solve::LpProblem lp;
+  std::size_t s_offset = 0;  // s_{i,j} at s_offset + i*J + j
+  std::size_t w_offset = 0;  // w_{i,j} at w_offset + i*J + j
+  std::size_t u_offset = 0;  // u_i at u_offset + i
+
+  // Recovers x = s + w from an LP solution vector.
+  [[nodiscard]] Allocation extract(const Instance& instance,
+                                   const solve::Vec& solution) const;
+};
+
+GreedySlotLp build_greedy_slot_lp(const Instance& instance, std::size_t t,
+                                  const Allocation& previous);
+
+// Converts the x-only static LP solution into an Allocation.
+Allocation extract_static(const Instance& instance,
+                          const solve::Vec& solution);
+
+}  // namespace eca::algo

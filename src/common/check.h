@@ -1,0 +1,54 @@
+// Lightweight precondition / invariant checking for the ECA library.
+//
+// ECA_CHECK is always on (release included): these guard API contracts whose
+// violation would otherwise silently corrupt results (e.g. dimension
+// mismatches in solvers). ECA_DCHECK compiles out in NDEBUG builds and is for
+// hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace eca {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "ECA_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+namespace detail {
+// Builds the optional message from stream-style arguments lazily.
+template <typename... Args>
+std::string format_check_message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+}  // namespace detail
+
+}  // namespace eca
+
+#define ECA_CHECK(cond, ...)                                       \
+  do {                                                             \
+    if (!(cond)) [[unlikely]] {                                    \
+      ::eca::check_failed(__FILE__, __LINE__, #cond,               \
+                          ::eca::detail::format_check_message(__VA_ARGS__)); \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define ECA_DCHECK(cond, ...) \
+  do {                        \
+  } while (0)
+#else
+#define ECA_DCHECK(cond, ...) ECA_CHECK(cond, ##__VA_ARGS__)
+#endif

@@ -1,0 +1,54 @@
+#include "common/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eca {
+
+namespace {
+const char* raw(const char* name) { return std::getenv(name); }
+}  // namespace
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = raw(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "warning: %s='%s' is not an integer; using %lld\n",
+                 name, value, static_cast<long long>(fallback));
+    return fallback;
+  }
+  return parsed;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = raw(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "warning: %s='%s' is not a number; using %g\n", name,
+                 value, fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = raw(name);
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* value = raw(name);
+  if (value == nullptr) return fallback;
+  const std::string v(value);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  std::fprintf(stderr, "warning: %s='%s' is not a boolean; using %d\n", name,
+               value, fallback);
+  return fallback;
+}
+
+}  // namespace eca

@@ -1,0 +1,20 @@
+// Environment-variable configuration knobs for benchmark binaries.
+//
+// Figure harnesses read their scale (user count, repetitions, ...) from
+// ECA_* environment variables so the same binary can run the paper-scale
+// experiment or a CI-sized one without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eca {
+
+// Returns the value of the environment variable, or `fallback` when unset or
+// unparsable. Parsing failures are reported on stderr (never fatal).
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+bool env_bool(const char* name, bool fallback);
+
+}  // namespace eca

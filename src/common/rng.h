@@ -1,0 +1,135 @@
+// Deterministic, splittable random number generation.
+//
+// All stochastic components of the library (price processes, workload
+// generators, mobility models) draw from eca::Rng so that every experiment is
+// reproducible from a single 64-bit seed. The generator is xoshiro256++,
+// seeded via splitmix64 as recommended by its authors; it is small, fast and
+// has no allocation, unlike std::mt19937_64.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace eca {
+
+// Stateless seed mixer; also used to derive independent child seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ engine with distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    have_gauss_ = false;
+  }
+
+  // Derives a statistically independent generator; `stream` distinguishes
+  // children derived from the same parent (user 0, user 1, ...).
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    std::uint64_t mix = state_[0] ^ (stream * 0x9e3779b97f4a7c15ull) ^
+                        (state_[3] + 0x2545f4914f6cdd1dull);
+    return Rng(mix);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * factor;
+    have_gauss_ = true;
+    return u * factor;
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Pareto(shape alpha, scale x_min): heavy-tailed "power" distribution.
+  double pareto(double alpha, double x_min) {
+    const double u = 1.0 - uniform();  // (0, 1]
+    return x_min * std::pow(u, -1.0 / alpha);
+  }
+
+  // Exponential with rate lambda.
+  double exponential(double lambda) {
+    return -std::log(1.0 - uniform()) / lambda;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_gauss_ = 0.0;
+  bool have_gauss_ = false;
+};
+
+}  // namespace eca

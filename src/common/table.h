@@ -1,0 +1,34 @@
+// ASCII table and CSV rendering for benchmark harnesses.
+//
+// Every figure-reproduction binary prints its series both as an aligned
+// human-readable table and (optionally) as CSV so results can be re-plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eca {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; cells beyond the header width are dropped, missing cells are
+  // rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eca

@@ -1,0 +1,33 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eca::geo {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.latitude_deg * kDegToRad;
+  const double lat2 = b.latitude_deg * kDegToRad;
+  const double dlat = (b.latitude_deg - a.latitude_deg) * kDegToRad;
+  const double dlon = (b.longitude_deg - a.longitude_deg) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+GeoPoint move_towards(const GeoPoint& from, const GeoPoint& to,
+                      double distance_km) {
+  const double total = haversine_km(from, to);
+  if (total <= distance_km || total <= 1e-9) return to;
+  const double frac = distance_km / total;
+  return {from.latitude_deg + frac * (to.latitude_deg - from.latitude_deg),
+          from.longitude_deg + frac * (to.longitude_deg - from.longitude_deg)};
+}
+
+}  // namespace eca::geo

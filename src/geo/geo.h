@@ -1,0 +1,37 @@
+// Geographic primitives: GPS points and great-circle distances.
+//
+// The paper measures all delays by geographic distance between GPS
+// positions (taxis from the Roma dataset, metro stations from Google Maps);
+// we keep the same convention.
+#pragma once
+
+#include <cstddef>
+
+namespace eca::geo {
+
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+// Great-circle distance in kilometres (haversine, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// Axis-aligned bounding box used by the synthetic taxi emulation.
+struct BoundingBox {
+  GeoPoint south_west;
+  GeoPoint north_east;
+
+  [[nodiscard]] bool contains(const GeoPoint& p) const {
+    return p.latitude_deg >= south_west.latitude_deg &&
+           p.latitude_deg <= north_east.latitude_deg &&
+           p.longitude_deg >= south_west.longitude_deg &&
+           p.longitude_deg <= north_east.longitude_deg;
+  }
+};
+
+// Moves `from` towards `to` by `distance_km`, clamping at the target.
+GeoPoint move_towards(const GeoPoint& from, const GeoPoint& to,
+                      double distance_km);
+
+}  // namespace eca::geo

@@ -1,0 +1,128 @@
+#include "geo/metro.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace eca::geo {
+
+MetroNetwork::MetroNetwork(
+    std::vector<MetroStation> stations,
+    std::vector<std::pair<std::size_t, std::size_t>> edges)
+    : stations_(std::move(stations)), adjacency_(stations_.size()) {
+  ECA_CHECK(!stations_.empty(), "metro network needs at least one station");
+  for (const auto& [a, b] : edges) {
+    ECA_CHECK(a < stations_.size() && b < stations_.size() && a != b,
+              "invalid metro edge");
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+  for (auto& list : adjacency_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+double MetroNetwork::distance_km(std::size_t a, std::size_t b) const {
+  ECA_CHECK(a < stations_.size() && b < stations_.size());
+  return haversine_km(stations_[a].position, stations_[b].position);
+}
+
+std::size_t MetroNetwork::nearest_station(const GeoPoint& p) const {
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    const double d = haversine_km(p, stations_[i].position);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool MetroNetwork::connected() const {
+  std::vector<bool> seen(stations_.size(), false);
+  std::vector<std::size_t> stack = {0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t w : adjacency_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == stations_.size();
+}
+
+BoundingBox MetroNetwork::bounding_box(double margin_km) const {
+  BoundingBox box{{90.0, 180.0}, {-90.0, -180.0}};
+  for (const auto& s : stations_) {
+    box.south_west.latitude_deg =
+        std::min(box.south_west.latitude_deg, s.position.latitude_deg);
+    box.south_west.longitude_deg =
+        std::min(box.south_west.longitude_deg, s.position.longitude_deg);
+    box.north_east.latitude_deg =
+        std::max(box.north_east.latitude_deg, s.position.latitude_deg);
+    box.north_east.longitude_deg =
+        std::max(box.north_east.longitude_deg, s.position.longitude_deg);
+  }
+  // ~111 km per degree latitude; ~83 km per degree longitude at Rome.
+  const double lat_margin = margin_km / 111.0;
+  const double lon_margin = margin_km / 83.0;
+  box.south_west.latitude_deg -= lat_margin;
+  box.south_west.longitude_deg -= lon_margin;
+  box.north_east.latitude_deg += lat_margin;
+  box.north_east.longitude_deg += lon_margin;
+  return box;
+}
+
+const MetroNetwork& rome_metro() {
+  static const MetroNetwork network = [] {
+    std::vector<MetroStation> stations = {
+        {"Ottaviano", {41.9067, 12.4576}},          // 0  (line A)
+        {"Lepanto", {41.9096, 12.4651}},            // 1
+        {"Flaminio", {41.9106, 12.4755}},           // 2
+        {"Spagna", {41.9066, 12.4832}},             // 3
+        {"Barberini", {41.9038, 12.4886}},          // 4
+        {"Repubblica", {41.9028, 12.4964}},         // 5
+        {"Termini", {41.9010, 12.5011}},            // 6  (A/B interchange)
+        {"Vittorio Emanuele", {41.8944, 12.5086}},  // 7
+        {"Manzoni", {41.8903, 12.5154}},            // 8
+        {"San Giovanni", {41.8860, 12.5183}},       // 9
+        {"Castro Pretorio", {41.9042, 12.5089}},    // 10 (line B)
+        {"Cavour", {41.8939, 12.4927}},             // 11
+        {"Colosseo", {41.8902, 12.4924}},           // 12
+        {"Circo Massimo", {41.8830, 12.4891}},      // 13
+        {"Piramide", {41.8765, 12.4817}},           // 14
+    };
+    std::vector<std::pair<std::size_t, std::size_t>> edges = {
+        // Line A.
+        {0, 1},
+        {1, 2},
+        {2, 3},
+        {3, 4},
+        {4, 5},
+        {5, 6},
+        {6, 7},
+        {7, 8},
+        {8, 9},
+        // Line B (through Termini).
+        {10, 6},
+        {6, 11},
+        {11, 12},
+        {12, 13},
+        {13, 14},
+    };
+    return MetroNetwork(std::move(stations), std::move(edges));
+  }();
+  return network;
+}
+
+}  // namespace eca::geo

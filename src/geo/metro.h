@@ -1,0 +1,59 @@
+// Metro network model: stations with GPS positions and line adjacency.
+//
+// The paper deploys 15 edge clouds at 15 Rome metro stations; rome_metro()
+// reproduces that deployment with the real central-Rome stations of lines A
+// and B (Termini is the interchange). The adjacency graph drives the
+// random-walk mobility model of Section V-D.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace eca::geo {
+
+struct MetroStation {
+  std::string name;
+  GeoPoint position;
+};
+
+class MetroNetwork {
+ public:
+  MetroNetwork(std::vector<MetroStation> stations,
+               std::vector<std::pair<std::size_t, std::size_t>> edges);
+
+  [[nodiscard]] std::size_t size() const { return stations_.size(); }
+  [[nodiscard]] const MetroStation& station(std::size_t i) const {
+    return stations_[i];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(
+      std::size_t i) const {
+    return adjacency_[i];
+  }
+
+  // Geographic distance between stations, km.
+  [[nodiscard]] double distance_km(std::size_t a, std::size_t b) const;
+
+  // Index of the station nearest to `p`.
+  [[nodiscard]] std::size_t nearest_station(const GeoPoint& p) const;
+
+  // True when every station can reach every other along line edges.
+  [[nodiscard]] bool connected() const;
+
+  // Bounding box of all stations, inflated by `margin_km` on each side.
+  [[nodiscard]] BoundingBox bounding_box(double margin_km = 1.0) const;
+
+ private:
+  std::vector<MetroStation> stations_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+// The 15-station central-Rome deployment used throughout the evaluation:
+// line A: Ottaviano–Lepanto–Flaminio–Spagna–Barberini–Repubblica–Termini–
+//         Vittorio Emanuele–Manzoni–San Giovanni,
+// line B: Castro Pretorio–Termini–Cavour–Colosseo–Circo Massimo–Piramide.
+const MetroNetwork& rome_metro();
+
+}  // namespace eca::geo

@@ -1,0 +1,81 @@
+// Row-major dense matrix with the factorizations the solver suite needs:
+// Cholesky (SPD systems inside the barrier method's Woodbury capacitance
+// solve) and partially pivoted LU (general square systems, simplex basis
+// checks in tests).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+namespace eca::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static DenseMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    ECA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    ECA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  // out = this * x
+  [[nodiscard]] Vec multiply(const Vec& x) const;
+  // out = this^T * x
+  [[nodiscard]] Vec multiply_transpose(const Vec& x) const;
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  void add_scaled(const DenseMatrix& other, double alpha);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+// `factor` returns false when A is not (numerically) positive definite.
+class Cholesky {
+ public:
+  bool factor(const DenseMatrix& a);
+  // Solves A x = b using the stored factor.
+  [[nodiscard]] Vec solve(const Vec& b) const;
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  DenseMatrix l_;
+  bool ok_ = false;
+};
+
+// LU factorization with partial pivoting, PA = LU.
+class Lu {
+ public:
+  bool factor(const DenseMatrix& a);
+  [[nodiscard]] Vec solve(const Vec& b) const;
+  // Solves A^T x = b.
+  [[nodiscard]] Vec solve_transpose(const Vec& b) const;
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  bool ok_ = false;
+};
+
+}  // namespace eca::linalg

@@ -1,0 +1,175 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/dense_matrix.h"
+
+namespace eca::linalg {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           const std::vector<Triplet>& triplets)
+    : rows_(rows), cols_(cols) {
+  std::vector<std::size_t> counts(rows + 1, 0);
+  for (const auto& t : triplets) {
+    ECA_CHECK(t.row < rows && t.col < cols, "triplet out of range");
+    ++counts[t.row + 1];
+  }
+  row_start_.assign(rows + 1, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_start_[r + 1] = row_start_[r] + counts[r + 1];
+  }
+  col_index_.resize(triplets.size());
+  values_.resize(triplets.size());
+  std::vector<std::size_t> cursor(row_start_.begin(), row_start_.end() - 1);
+  for (const auto& t : triplets) {
+    const std::size_t slot = cursor[t.row]++;
+    col_index_[slot] = t.col;
+    values_[slot] = t.value;
+  }
+  // Sort within each row and merge duplicates.
+  std::vector<std::size_t> order;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t begin = row_start_[r];
+    const std::size_t end = cursor[r];
+    order.resize(end - begin);
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = begin + k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return col_index_[a] < col_index_[b];
+    });
+    std::vector<std::size_t> cols_sorted(order.size());
+    std::vector<double> vals_sorted(order.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      cols_sorted[k] = col_index_[order[k]];
+      vals_sorted[k] = values_[order[k]];
+    }
+    std::copy(cols_sorted.begin(), cols_sorted.end(),
+              col_index_.begin() + static_cast<std::ptrdiff_t>(begin));
+    std::copy(vals_sorted.begin(), vals_sorted.end(),
+              values_.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  // Merge duplicate (row, col) entries by summation.
+  std::size_t write = 0;
+  std::vector<std::size_t> new_start(rows + 1, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    new_start[r] = write;
+    std::size_t k = row_start_[r];
+    const std::size_t end = row_start_[r + 1];
+    while (k < end) {
+      const std::size_t col = col_index_[k];
+      double acc = 0.0;
+      while (k < end && col_index_[k] == col) acc += values_[k++];
+      col_index_[write] = col;
+      values_[write] = acc;
+      ++write;
+    }
+  }
+  new_start[rows] = write;
+  row_start_ = std::move(new_start);
+  col_index_.resize(write);
+  values_.resize(write);
+}
+
+void SparseMatrix::multiply(const Vec& x, Vec& out) const {
+  ECA_DCHECK(x.size() == cols_);
+  out.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      acc += values_[k] * x[col_index_[k]];
+    }
+    out[r] = acc;
+  }
+}
+
+void SparseMatrix::multiply_transpose(const Vec& y, Vec& out) const {
+  ECA_DCHECK(y.size() == rows_);
+  out.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      out[col_index_[k]] += values_[k] * yr;
+    }
+  }
+}
+
+Vec SparseMatrix::row_inf_norms() const {
+  Vec out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      out[r] = std::max(out[r], std::abs(values_[k]));
+    }
+  }
+  return out;
+}
+
+Vec SparseMatrix::col_inf_norms() const {
+  Vec out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      auto& slot = out[col_index_[k]];
+      slot = std::max(slot, std::abs(values_[k]));
+    }
+  }
+  return out;
+}
+
+Vec SparseMatrix::row_power_sums(double p) const {
+  Vec out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      out[r] += std::pow(std::abs(values_[k]), p);
+    }
+  }
+  return out;
+}
+
+Vec SparseMatrix::col_power_sums(double p) const {
+  Vec out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      out[col_index_[k]] += std::pow(std::abs(values_[k]), p);
+    }
+  }
+  return out;
+}
+
+void SparseMatrix::scale(const Vec& row_scale, const Vec& col_scale) {
+  ECA_CHECK(row_scale.size() == rows_ && col_scale.size() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      values_[k] *= row_scale[r] * col_scale[col_index_[k]];
+    }
+  }
+}
+
+double SparseMatrix::spectral_norm_estimate(int iterations) const {
+  if (nnz() == 0) return 0.0;
+  Vec v(cols_, 1.0 / std::sqrt(static_cast<double>(cols_)));
+  Vec av(rows_);
+  Vec atav(cols_);
+  double sigma = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    multiply(v, av);
+    multiply_transpose(av, atav);
+    const double n = norm2(atav);
+    if (n == 0.0) return 0.0;
+    for (std::size_t i = 0; i < cols_; ++i) v[i] = atav[i] / n;
+    sigma = std::sqrt(n);
+  }
+  return sigma;
+}
+
+DenseMatrix SparseMatrix::to_dense() const {
+  DenseMatrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      out(r, col_index_[k]) += values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace eca::linalg

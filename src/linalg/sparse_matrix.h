@@ -1,0 +1,79 @@
+// Compressed sparse row matrix used by the first-order LP solver (PDHG).
+//
+// Built from triplets; supports matvec with A and A^T, row/column norms for
+// diagonal (Ruiz/Pock-Chambolle) preconditioning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace eca::linalg {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               const std::vector<Triplet>& triplets);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  // out = A x
+  void multiply(const Vec& x, Vec& out) const;
+  // out = A^T y
+  void multiply_transpose(const Vec& y, Vec& out) const;
+
+  [[nodiscard]] Vec multiply(const Vec& x) const {
+    Vec out(rows_);
+    multiply(x, out);
+    return out;
+  }
+  [[nodiscard]] Vec multiply_transpose(const Vec& y) const {
+    Vec out(cols_);
+    multiply_transpose(y, out);
+    return out;
+  }
+
+  // Max |A_ij| per row / per column (for preconditioning).
+  [[nodiscard]] Vec row_inf_norms() const;
+  [[nodiscard]] Vec col_inf_norms() const;
+  // Row/col sums of |A_ij|^p.
+  [[nodiscard]] Vec row_power_sums(double p) const;
+  [[nodiscard]] Vec col_power_sums(double p) const;
+
+  // Scales A := diag(r) * A * diag(c) in place.
+  void scale(const Vec& row_scale, const Vec& col_scale);
+
+  // Largest singular value estimate via power iteration on A^T A.
+  [[nodiscard]] double spectral_norm_estimate(int iterations = 60) const;
+
+  [[nodiscard]] DenseMatrix to_dense() const;
+
+  // Row access for solvers that need to walk the pattern.
+  [[nodiscard]] const std::vector<std::size_t>& row_starts() const {
+    return row_start_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_indices() const {
+    return col_index_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+};
+
+}  // namespace eca::linalg

@@ -1,0 +1,83 @@
+// Dense vector operations over std::vector<double>.
+//
+// The solver suite represents vectors as plain std::vector<double>; these
+// free functions provide the (small) set of BLAS-1 style operations it needs.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eca::linalg {
+
+using Vec = std::vector<double>;
+
+inline double dot(const Vec& a, const Vec& b) {
+  ECA_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+inline double norm_inf(const Vec& a) {
+  double m = 0.0;
+  for (double x : a) m = std::max(m, std::abs(x));
+  return m;
+}
+
+// y += alpha * x
+inline void axpy(double alpha, const Vec& x, Vec& y) {
+  ECA_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void scale(Vec& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+inline Vec add(const Vec& a, const Vec& b) {
+  ECA_DCHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+inline Vec sub(const Vec& a, const Vec& b) {
+  ECA_DCHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+inline Vec scaled(const Vec& a, double alpha) {
+  Vec out(a);
+  scale(out, alpha);
+  return out;
+}
+
+inline double distance_inf(const Vec& a, const Vec& b) {
+  ECA_DCHECK(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+inline void clamp_nonnegative(Vec& x) {
+  for (double& v : x) {
+    if (v < 0.0) v = 0.0;
+  }
+}
+
+inline double sum(const Vec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+}  // namespace eca::linalg

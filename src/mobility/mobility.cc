@@ -1,0 +1,186 @@
+#include "mobility/mobility.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eca::mobility {
+
+std::vector<double> MobilityTrace::attachment_frequency(
+    std::size_t num_clouds) const {
+  std::vector<double> freq(num_clouds, 0.0);
+  std::size_t total = 0;
+  for (const auto& slot : attachment) {
+    for (std::size_t cloud : slot) {
+      ECA_CHECK(cloud < num_clouds, "attachment index out of range");
+      freq[cloud] += 1.0;
+      ++total;
+    }
+  }
+  if (total > 0) {
+    for (auto& f : freq) f /= static_cast<double>(total);
+  }
+  return freq;
+}
+
+double MobilityTrace::handover_rate() const {
+  if (num_slots < 2 || num_users == 0) return 0.0;
+  std::size_t changes = 0;
+  for (std::size_t t = 1; t < num_slots; ++t) {
+    for (std::size_t j = 0; j < num_users; ++j) {
+      if (attachment[t][j] != attachment[t - 1][j]) ++changes;
+    }
+  }
+  return static_cast<double>(changes) /
+         static_cast<double>((num_slots - 1) * num_users);
+}
+
+namespace {
+
+MobilityTrace make_empty_trace(std::size_t num_users, std::size_t num_slots) {
+  MobilityTrace trace;
+  trace.num_slots = num_slots;
+  trace.num_users = num_users;
+  trace.attachment.assign(num_slots, std::vector<std::size_t>(num_users, 0));
+  trace.position.assign(num_slots,
+                        std::vector<geo::GeoPoint>(num_users, geo::GeoPoint{}));
+  return trace;
+}
+
+}  // namespace
+
+MobilityTrace RandomWalkMobility::generate(Rng& rng, std::size_t num_users,
+                                           std::size_t num_slots) const {
+  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+  std::vector<std::size_t> station(num_users);
+  for (std::size_t j = 0; j < num_users; ++j) {
+    station[j] = rng.uniform_index(network_.size());
+  }
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    for (std::size_t j = 0; j < num_users; ++j) {
+      if (t > 0) {
+        // Choose uniformly among {stay} ∪ neighbors: with k neighbors each
+        // option has probability 1/(k+1), matching Section V-D's example
+        // (3 neighbors => 25% each).
+        const auto& neigh = network_.neighbors(station[j]);
+        const std::size_t choice = rng.uniform_index(neigh.size() + 1);
+        if (choice < neigh.size()) station[j] = neigh[choice];
+      }
+      trace.attachment[t][j] = station[j];
+      trace.position[t][j] = network_.station(station[j]).position;
+    }
+  }
+  return trace;
+}
+
+MobilityTrace TaxiMobility::generate(Rng& rng, std::size_t num_users,
+                                     std::size_t num_slots) const {
+  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+  const geo::BoundingBox box = network_.bounding_box(options_.bbox_margin_km);
+  auto random_point = [&rng, &box] {
+    return geo::GeoPoint{
+        rng.uniform(box.south_west.latitude_deg, box.north_east.latitude_deg),
+        rng.uniform(box.south_west.longitude_deg,
+                    box.north_east.longitude_deg)};
+  };
+  std::vector<geo::GeoPoint> position(num_users);
+  std::vector<geo::GeoPoint> destination(num_users);
+  std::vector<double> speed(num_users);
+  for (std::size_t j = 0; j < num_users; ++j) {
+    position[j] = random_point();
+    destination[j] = random_point();
+    speed[j] = rng.uniform(options_.min_speed_kmh, options_.max_speed_kmh);
+  }
+  const double slot_hours = options_.slot_minutes / 60.0;
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    for (std::size_t j = 0; j < num_users; ++j) {
+      if (t > 0 && !rng.bernoulli(options_.idle_probability)) {
+        position[j] = geo::move_towards(position[j], destination[j],
+                                        speed[j] * slot_hours);
+        if (geo::haversine_km(position[j], destination[j]) < 1e-3) {
+          destination[j] = random_point();
+          speed[j] =
+              rng.uniform(options_.min_speed_kmh, options_.max_speed_kmh);
+        }
+      }
+      trace.position[t][j] = position[j];
+      trace.attachment[t][j] = network_.nearest_station(position[j]);
+    }
+  }
+  return trace;
+}
+
+MobilityTrace StationaryMobility::generate(Rng& rng, std::size_t num_users,
+                                           std::size_t num_slots) const {
+  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+  for (std::size_t j = 0; j < num_users; ++j) {
+    const std::size_t station = rng.uniform_index(network_.size());
+    for (std::size_t t = 0; t < num_slots; ++t) {
+      trace.attachment[t][j] = station;
+      trace.position[t][j] = network_.station(station).position;
+    }
+  }
+  return trace;
+}
+
+MobilityTrace CommuterMobility::generate(Rng& rng, std::size_t num_users,
+                                         std::size_t num_slots) const {
+  ECA_CHECK(options_.hub < network_.size());
+  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+  std::vector<std::size_t> home(num_users);
+  std::vector<std::size_t> station(num_users);
+  for (std::size_t j = 0; j < num_users; ++j) {
+    home[j] = rng.uniform_index(network_.size());
+    station[j] = home[j];
+  }
+  // One biased-walk step toward `target`: with probability towards_bias
+  // take the neighbor that reduces the geographic distance most, otherwise
+  // behave like the uniform random walk.
+  auto step_towards = [&](std::size_t from, std::size_t target) {
+    if (from == target) return from;
+    const auto& neigh = network_.neighbors(from);
+    if (rng.bernoulli(options_.towards_bias)) {
+      std::size_t best = from;
+      double best_distance = network_.distance_km(from, target);
+      for (std::size_t candidate : neigh) {
+        const double d = network_.distance_km(candidate, target);
+        if (d < best_distance) {
+          best_distance = d;
+          best = candidate;
+        }
+      }
+      return best;
+    }
+    const std::size_t choice = rng.uniform_index(neigh.size() + 1);
+    return choice < neigh.size() ? neigh[choice] : from;
+  };
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    const bool morning = t < num_slots / 2;
+    for (std::size_t j = 0; j < num_users; ++j) {
+      if (t > 0) {
+        station[j] =
+            step_towards(station[j], morning ? options_.hub : home[j]);
+      }
+      trace.attachment[t][j] = station[j];
+      trace.position[t][j] = network_.station(station[j]).position;
+    }
+  }
+  return trace;
+}
+
+MobilityTrace PingPongMobility::generate(Rng& /*rng*/, std::size_t num_users,
+                                         std::size_t num_slots) const {
+  ECA_CHECK(a_ < network_.size() && b_ < network_.size());
+  ECA_CHECK(period_ >= 1);
+  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    const std::size_t station = (t / period_) % 2 == 0 ? a_ : b_;
+    for (std::size_t j = 0; j < num_users; ++j) {
+      trace.attachment[t][j] = station;
+      trace.position[t][j] = network_.station(station).position;
+    }
+  }
+  return trace;
+}
+
+}  // namespace eca::mobility

@@ -1,0 +1,138 @@
+// User mobility models and traces.
+//
+// A MobilityTrace records, for every slot and user, the user's GPS position
+// and the edge cloud (metro station) the user is attached to — exactly the
+// per-slot input l_{j,t} the online algorithm observes.
+//
+// Models:
+//  * RandomWalk  — the paper's synthetic pattern (Section V-D): users ride
+//    the metro, each slot choosing uniformly among staying and the adjacent
+//    stations.
+//  * Taxi        — emulation of the Roma taxi dataset (Section V-A): users
+//    travel between random waypoints in the city-centre bounding box at
+//    taxi speeds and attach to the nearest station. (Substitute for the
+//    CRAWDAD traces, which are not redistributable; see DESIGN.md.)
+//  * Stationary  — users never move (baseline / tests).
+//  * PingPong    — adversarial alternation between two stations (tests,
+//    worst-case-style inputs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/metro.h"
+
+namespace eca::mobility {
+
+struct MobilityTrace {
+  std::size_t num_slots = 0;
+  std::size_t num_users = 0;
+  // attachment[t][j] = index of the edge cloud user j connects to in slot t.
+  std::vector<std::vector<std::size_t>> attachment;
+  // position[t][j] = GPS position of user j in slot t.
+  std::vector<std::vector<geo::GeoPoint>> position;
+
+  // How often users are attached to each cloud (used by the paper to size
+  // capacities proportionally to attachment frequency).
+  [[nodiscard]] std::vector<double> attachment_frequency(
+      std::size_t num_clouds) const;
+
+  // Fraction of (user, slot-transition) pairs that change attachment.
+  [[nodiscard]] double handover_rate() const;
+};
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  // Generates a trace for `num_users` users over `num_slots` slots.
+  [[nodiscard]] virtual MobilityTrace generate(Rng& rng,
+                                               std::size_t num_users,
+                                               std::size_t num_slots) const = 0;
+};
+
+class RandomWalkMobility final : public MobilityModel {
+ public:
+  explicit RandomWalkMobility(const geo::MetroNetwork& network)
+      : network_(network) {}
+  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
+                                       std::size_t num_slots) const override;
+
+ private:
+  const geo::MetroNetwork& network_;
+};
+
+struct TaxiOptions {
+  double min_speed_kmh = 10.0;
+  double max_speed_kmh = 45.0;
+  double slot_minutes = 1.0;
+  // Probability per slot of an idle taxi (no movement): city taxis spend a
+  // large share of their time waiting or stuck; this keeps the per-minute
+  // handover rate "moderate" as in the Roma dataset.
+  double idle_probability = 0.35;
+  double bbox_margin_km = 1.0;
+};
+
+class TaxiMobility final : public MobilityModel {
+ public:
+  TaxiMobility(const geo::MetroNetwork& network, TaxiOptions options = {})
+      : network_(network), options_(options) {}
+  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
+                                       std::size_t num_slots) const override;
+
+ private:
+  const geo::MetroNetwork& network_;
+  TaxiOptions options_;
+};
+
+class StationaryMobility final : public MobilityModel {
+ public:
+  explicit StationaryMobility(const geo::MetroNetwork& network)
+      : network_(network) {}
+  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
+                                       std::size_t num_slots) const override;
+
+ private:
+  const geo::MetroNetwork& network_;
+};
+
+struct CommuterOptions {
+  std::size_t hub = 6;          // Termini by default
+  double towards_bias = 0.75;   // probability of moving toward the target
+};
+
+// Commuter pattern: in the first half of the horizon users drift toward a
+// hub station (morning rush); in the second half they drift back to their
+// home station (evening rush). A structured, correlated mobility pattern
+// that stresses the reconfiguration path far more than independent walks.
+class CommuterMobility final : public MobilityModel {
+ public:
+  CommuterMobility(const geo::MetroNetwork& network,
+                   CommuterOptions options = {})
+      : network_(network), options_(options) {}
+  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
+                                       std::size_t num_slots) const override;
+
+ private:
+  const geo::MetroNetwork& network_;
+  CommuterOptions options_;
+};
+
+class PingPongMobility final : public MobilityModel {
+ public:
+  // Users alternate between station `a` and station `b` every `period`
+  // slots.
+  PingPongMobility(const geo::MetroNetwork& network, std::size_t a,
+                   std::size_t b, std::size_t period = 1)
+      : network_(network), a_(a), b_(b), period_(period) {}
+  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
+                                       std::size_t num_slots) const override;
+
+ private:
+  const geo::MetroNetwork& network_;
+  std::size_t a_;
+  std::size_t b_;
+  std::size_t period_;
+};
+
+}  // namespace eca::mobility

@@ -1,0 +1,115 @@
+#include "model/costs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eca::model {
+namespace {
+inline double positive_part(double v) { return v > 0.0 ? v : 0.0; }
+}  // namespace
+
+CostBreakdown slot_cost(const Instance& instance, std::size_t t,
+                        const Allocation& current, const Allocation* previous) {
+  ECA_CHECK(t < instance.num_slots);
+  ECA_CHECK(current.num_clouds == instance.num_clouds &&
+            current.num_users == instance.num_users);
+  CostBreakdown cost;
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+
+  // Static: operation + service quality.
+  for (std::size_t i = 0; i < kI; ++i) {
+    const double price = instance.operation_price[t][i];
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const double x = current.at(i, j);
+      cost.operation += price * x;
+      cost.service_quality += instance.service_coefficient(t, i, j) * x;
+    }
+  }
+  for (std::size_t j = 0; j < kJ; ++j) {
+    cost.service_quality += instance.access_delay[t][j];
+  }
+
+  // Dynamic: reconfiguration (aggregate per cloud) + migration (per user).
+  const Vec totals = current.cloud_totals();
+  Vec prev_totals(kI, 0.0);
+  if (previous != nullptr) {
+    ECA_CHECK(previous->num_clouds == kI && previous->num_users == kJ);
+    prev_totals = previous->cloud_totals();
+  }
+  for (std::size_t i = 0; i < kI; ++i) {
+    cost.reconfiguration += instance.clouds[i].reconfiguration_price *
+                            positive_part(totals[i] - prev_totals[i]);
+    double in_flow = 0.0;
+    double out_flow = 0.0;
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const double prev_x = previous != nullptr ? previous->at(i, j) : 0.0;
+      const double diff = current.at(i, j) - prev_x;
+      in_flow += positive_part(diff);
+      out_flow += positive_part(-diff);
+    }
+    cost.migration += instance.clouds[i].migration_in_price * in_flow +
+                      instance.clouds[i].migration_out_price * out_flow;
+  }
+  return cost;
+}
+
+CostBreakdown total_cost(const Instance& instance,
+                         const AllocationSequence& seq) {
+  ECA_CHECK(seq.size() == instance.num_slots);
+  CostBreakdown total;
+  for (std::size_t t = 0; t < instance.num_slots; ++t) {
+    total += slot_cost(instance, t, seq[t], t > 0 ? &seq[t - 1] : nullptr);
+  }
+  return total;
+}
+
+double p1_objective(const Instance& instance, const AllocationSequence& seq) {
+  ECA_CHECK(seq.size() == instance.num_slots);
+  double value = 0.0;
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  for (std::size_t t = 0; t < instance.num_slots; ++t) {
+    const Allocation& current = seq[t];
+    const Allocation* previous = t > 0 ? &seq[t - 1] : nullptr;
+    // Static parts and reconfiguration as in P0.
+    const CostBreakdown full = slot_cost(instance, t, current, previous);
+    value += instance.weights.static_weight * full.static_cost() +
+             instance.weights.dynamic_weight * full.reconfiguration;
+    // Migration folded into the in direction with b_i = b^out + b^in.
+    for (std::size_t i = 0; i < kI; ++i) {
+      double in_flow = 0.0;
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const double prev_x = previous != nullptr ? previous->at(i, j) : 0.0;
+        in_flow += positive_part(current.at(i, j) - prev_x);
+      }
+      value += instance.weights.dynamic_weight *
+               instance.clouds[i].migration_price() * in_flow;
+    }
+  }
+  return value;
+}
+
+double lemma1_sigma(const Instance& instance) {
+  double sigma = 0.0;
+  for (const auto& cloud : instance.clouds) {
+    sigma += cloud.migration_out_price * cloud.capacity;
+  }
+  return instance.weights.dynamic_weight * sigma;
+}
+
+double competitive_ratio_bound(const Instance& instance, double eps1,
+                               double eps2) {
+  ECA_CHECK(eps1 > 0.0 && eps2 > 0.0);
+  double gamma = 0.0;
+  for (const auto& cloud : instance.clouds) {
+    const double c = cloud.capacity;
+    gamma = std::max(gamma, (c + eps1) * std::log1p(c / eps1));
+    gamma = std::max(gamma, (c + eps2) * std::log1p(c / eps2));
+  }
+  return 1.0 + gamma * static_cast<double>(instance.num_clouds);
+}
+
+}  // namespace eca::model

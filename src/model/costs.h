@@ -1,0 +1,59 @@
+// Cost accounting: evaluates any allocation sequence under the original P0
+// objective (Section II-C). Every algorithm — including the paper's
+// regularized one, which internally optimizes a transformed objective — is
+// scored with this one function, so comparisons are apples-to-apples.
+#pragma once
+
+#include "model/instance.h"
+
+namespace eca::model {
+
+struct CostBreakdown {
+  double operation = 0.0;        // Σ_t Σ_i Σ_j a_{i,t} x_{i,j,t}
+  double service_quality = 0.0;  // Σ_t Σ_j (d(j,l) + Σ_i x d(l,i)/λ)
+  double reconfiguration = 0.0;  // Σ_t Σ_i c_i (ΔX_i)^+
+  double migration = 0.0;        // Σ_t Σ_i b^out z^out + b^in z^in
+
+  [[nodiscard]] double static_cost() const {
+    return operation + service_quality;
+  }
+  [[nodiscard]] double dynamic_cost() const {
+    return reconfiguration + migration;
+  }
+  [[nodiscard]] double total(const CostWeights& weights) const {
+    return weights.static_weight * static_cost() +
+           weights.dynamic_weight * dynamic_cost();
+  }
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    operation += other.operation;
+    service_quality += other.service_quality;
+    reconfiguration += other.reconfiguration;
+    migration += other.migration;
+    return *this;
+  }
+};
+
+// Cost of slot t given the previous slot's allocation (pass an all-zero
+// allocation — or nullptr — for t = 0, matching x_{i,j,0} = 0).
+CostBreakdown slot_cost(const Instance& instance, std::size_t t,
+                        const Allocation& current, const Allocation* previous);
+
+// Total cost of a full allocation sequence.
+CostBreakdown total_cost(const Instance& instance,
+                         const AllocationSequence& seq);
+
+// The transformed P1 objective value (migration folded into the in
+// direction with b_i = b^out + b^in); used to test Lemma 1's bound
+// P1 <= P0 + σ with σ = Σ_i b_i^out C_i.
+double p1_objective(const Instance& instance, const AllocationSequence& seq);
+
+// Lemma 1's constant σ = Σ_i b_i^out C_i.
+double lemma1_sigma(const Instance& instance);
+
+// Theorem 2's competitive-ratio bound r = 1 + γ |I| with
+// γ = max_i { (C_i+ε1) ln(1+C_i/ε1), (C_i+ε2) ln(1+C_i/ε2) }.
+double competitive_ratio_bound(const Instance& instance, double eps1,
+                               double eps2);
+
+}  // namespace eca::model

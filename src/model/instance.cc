@@ -1,0 +1,134 @@
+#include "model/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace eca::model {
+
+Vec Instance::capacities() const {
+  Vec caps(num_clouds);
+  for (std::size_t i = 0; i < num_clouds; ++i) caps[i] = clouds[i].capacity;
+  return caps;
+}
+
+std::string Instance::validate() const {
+  std::ostringstream err;
+  if (num_clouds == 0 || num_users == 0 || num_slots == 0) {
+    err << "instance dimensions must be positive";
+    return err.str();
+  }
+  if (clouds.size() != num_clouds || demand.size() != num_users ||
+      operation_price.size() != num_slots || attachment.size() != num_slots ||
+      access_delay.size() != num_slots ||
+      inter_cloud_delay.size() != num_clouds) {
+    err << "array sizes inconsistent with instance dimensions";
+    return err.str();
+  }
+  for (const auto& row : inter_cloud_delay) {
+    if (row.size() != num_clouds) {
+      err << "delay matrix is not I x I";
+      return err.str();
+    }
+  }
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    if (std::abs(inter_cloud_delay[i][i]) > 1e-12) {
+      err << "delay matrix diagonal must be zero";
+      return err.str();
+    }
+    for (std::size_t k = 0; k < num_clouds; ++k) {
+      if (inter_cloud_delay[i][k] < 0.0 ||
+          std::abs(inter_cloud_delay[i][k] - inter_cloud_delay[k][i]) >
+              1e-9) {
+        err << "delay matrix must be symmetric and non-negative";
+        return err.str();
+      }
+    }
+    if (clouds[i].capacity < 0.0 || clouds[i].reconfiguration_price < 0.0 ||
+        clouds[i].migration_in_price < 0.0 ||
+        clouds[i].migration_out_price < 0.0) {
+      err << "cloud " << i << " has negative parameters";
+      return err.str();
+    }
+  }
+  for (double d : demand) {
+    if (d <= 0.0) {
+      err << "demands must be positive";
+      return err.str();
+    }
+  }
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    if (operation_price[t].size() != num_clouds ||
+        attachment[t].size() != num_users ||
+        access_delay[t].size() != num_users) {
+      err << "slot " << t << " arrays inconsistent";
+      return err.str();
+    }
+    for (double a : operation_price[t]) {
+      if (a < 0.0) {
+        err << "operation prices must be non-negative";
+        return err.str();
+      }
+    }
+    for (std::size_t j = 0; j < num_users; ++j) {
+      if (attachment[t][j] >= num_clouds) {
+        err << "attachment out of range at slot " << t;
+        return err.str();
+      }
+      if (access_delay[t][j] < 0.0) {
+        err << "access delays must be non-negative";
+        return err.str();
+      }
+    }
+  }
+  if (weights.static_weight < 0.0 || weights.dynamic_weight < 0.0) {
+    err << "weights must be non-negative";
+    return err.str();
+  }
+  return {};
+}
+
+Vec Allocation::cloud_totals() const {
+  Vec totals(num_clouds, 0.0);
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    for (std::size_t j = 0; j < num_users; ++j) totals[i] += at(i, j);
+  }
+  return totals;
+}
+
+double Allocation::user_total(std::size_t j) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_clouds; ++i) total += at(i, j);
+  return total;
+}
+
+double allocation_violation(const Instance& instance,
+                            const Allocation& alloc) {
+  ECA_CHECK(alloc.num_clouds == instance.num_clouds &&
+                alloc.num_users == instance.num_users,
+            "allocation shape mismatch");
+  double violation = 0.0;
+  for (double v : alloc.x) violation = std::max(violation, -v);
+  for (std::size_t j = 0; j < instance.num_users; ++j) {
+    violation = std::max(violation, instance.demand[j] - alloc.user_total(j));
+  }
+  const Vec totals = alloc.cloud_totals();
+  for (std::size_t i = 0; i < instance.num_clouds; ++i) {
+    violation = std::max(violation, totals[i] - instance.clouds[i].capacity);
+  }
+  return violation;
+}
+
+double max_violation(const Instance& instance, const AllocationSequence& seq) {
+  ECA_CHECK(seq.size() == instance.num_slots,
+            "allocation sequence length mismatch");
+  double violation = 0.0;
+  for (const auto& alloc : seq) {
+    violation = std::max(violation, allocation_violation(instance, alloc));
+  }
+  return violation;
+}
+
+}  // namespace eca::model

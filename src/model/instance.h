@@ -1,0 +1,107 @@
+// Problem instance: the full time-expanded input of problem P0.
+//
+// An Instance bundles everything an (offline) optimizer would need — edge
+// clouds with prices and capacities, the inter-cloud delay matrix, per-slot
+// operation prices, per-slot user attachments and access delays, and user
+// demands — while online algorithms are only ever shown the data of the
+// current slot through SlotView.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace eca::model {
+
+using linalg::Vec;
+
+// One edge cloud's static parameters.
+struct EdgeCloud {
+  double capacity = 0.0;            // C_i
+  double reconfiguration_price = 0.0;  // c_i
+  double migration_out_price = 0.0;    // b_i^out
+  double migration_in_price = 0.0;     // b_i^in
+
+  [[nodiscard]] double migration_price() const {  // b_i = b^out + b^in
+    return migration_out_price + migration_in_price;
+  }
+};
+
+// Objective weights. The paper omits weights in the formulation but keeps
+// them in the evaluation; mu = dynamic_weight / static_weight is the knob
+// swept in Figure 4(b).
+struct CostWeights {
+  double static_weight = 1.0;   // multiplies Cost_op and Cost_sq
+  double dynamic_weight = 1.0;  // multiplies Cost_rc and Cost_mg
+
+  [[nodiscard]] double mu() const { return dynamic_weight / static_weight; }
+  static CostWeights from_mu(double mu) { return {1.0, mu}; }
+};
+
+struct Instance {
+  std::size_t num_clouds = 0;  // I
+  std::size_t num_users = 0;   // J
+  std::size_t num_slots = 0;   // T
+
+  std::vector<EdgeCloud> clouds;
+  // inter_cloud_delay[i][k] = d(i, k); symmetric with zero diagonal.
+  std::vector<Vec> inter_cloud_delay;
+  Vec demand;  // λ_j, size J
+  // operation_price[t][i] = a_{i,t}.
+  std::vector<Vec> operation_price;
+  // attachment[t][j] = l_{j,t} (edge cloud index).
+  std::vector<std::vector<std::size_t>> attachment;
+  // access_delay[t][j] = d(j, l_{j,t}).
+  std::vector<Vec> access_delay;
+
+  CostWeights weights;
+
+  [[nodiscard]] double total_demand() const { return linalg::sum(demand); }
+  [[nodiscard]] Vec capacities() const;
+
+  // Service-quality delay coefficient of x_{i,j,t}: d(l_{j,t}, i) / λ_j.
+  [[nodiscard]] double service_coefficient(std::size_t t, std::size_t i,
+                                           std::size_t j) const {
+    return inter_cloud_delay[attachment[t][j]][i] / demand[j];
+  }
+
+  // Shape/value consistency check; empty string when valid.
+  [[nodiscard]] std::string validate() const;
+};
+
+// Per-slot allocation matrix x_{i,j} stored row-major by cloud.
+struct Allocation {
+  std::size_t num_clouds = 0;
+  std::size_t num_users = 0;
+  Vec x;  // size I*J
+
+  Allocation() = default;
+  Allocation(std::size_t clouds, std::size_t users)
+      : num_clouds(clouds), num_users(users), x(clouds * users, 0.0) {}
+
+  [[nodiscard]] double& at(std::size_t i, std::size_t j) {
+    return x[i * num_users + j];
+  }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return x[i * num_users + j];
+  }
+  // Aggregate per cloud, X_i.
+  [[nodiscard]] Vec cloud_totals() const;
+  // Total allocated to user j.
+  [[nodiscard]] double user_total(std::size_t j) const;
+};
+
+// A full solution: one allocation per slot.
+using AllocationSequence = std::vector<Allocation>;
+
+// Maximum violation of the per-slot P0 constraints (demand, capacity,
+// non-negativity) for a single allocation; 0 when feasible.
+double allocation_violation(const Instance& instance, const Allocation& alloc);
+
+// Maximum violation of the P0 constraints (demand, capacity, nonnegativity)
+// across all slots; 0 for a feasible solution.
+double max_violation(const Instance& instance, const AllocationSequence& seq);
+
+}  // namespace eca::model

@@ -1,0 +1,62 @@
+#include "pricing/pricing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eca::pricing {
+
+std::vector<double> base_operation_prices(
+    const std::vector<double>& capacity,
+    const OperationPriceOptions& options) {
+  ECA_CHECK(!capacity.empty());
+  std::vector<double> base(capacity.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < capacity.size(); ++i) {
+    base[i] = 1.0 / std::max(capacity[i], 1e-9);
+    sum += base[i];
+  }
+  const double norm =
+      options.mean_base_price * static_cast<double>(capacity.size()) / sum;
+  for (auto& b : base) b *= norm;
+  return base;
+}
+
+std::vector<std::vector<double>> operation_price_series(
+    Rng& rng, const std::vector<double>& base_prices, std::size_t num_slots,
+    const OperationPriceOptions& options) {
+  std::vector<std::vector<double>> series(
+      num_slots, std::vector<double>(base_prices.size(), 0.0));
+  for (std::size_t t = 0; t < num_slots; ++t) {
+    for (std::size_t i = 0; i < base_prices.size(); ++i) {
+      const double base = base_prices[i];
+      const double price = rng.gaussian(base, options.stddev_factor * base);
+      series[t][i] = std::max(price, options.floor * base);
+    }
+  }
+  return series;
+}
+
+std::vector<double> bandwidth_prices(std::size_t num_clouds,
+                                     const BandwidthPriceOptions& options) {
+  ECA_CHECK(num_clouds > 0);
+  const double cluster[3] = {options.tiscali, options.vodafone,
+                             options.infostrada};
+  std::vector<double> prices(num_clouds);
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    prices[i] = options.scale * cluster[i % 3];
+  }
+  return prices;
+}
+
+std::vector<double> reconfiguration_prices(
+    Rng& rng, std::size_t num_clouds,
+    const ReconfigurationPriceOptions& options) {
+  std::vector<double> prices(num_clouds);
+  for (auto& p : prices) {
+    p = std::max(rng.gaussian(options.mean, options.stddev), options.floor);
+  }
+  return prices;
+}
+
+}  // namespace eca::pricing

@@ -1,0 +1,62 @@
+// Price processes for the edge cloud system (Section V-A).
+//
+// * Operation price: per-cloud base price inversely proportional to
+//   capacity (economy of scale); the real-time price each slot is Gaussian
+//   with mean = base and stddev = base/2, truncated at a small positive
+//   floor (prices are per unit of allocated resource per slot).
+// * Bandwidth (migration) price: three ISP clusters with the flat-rate
+//   ratios from the paper (Tiscali 2.49 / Vodafone 4.86 / Infostrada 1.25
+//   euro per Mbps-month); only the relative ratios matter.
+// * Reconfiguration price: static over time, Gaussian across clouds with
+//   the negative tail cut.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eca::pricing {
+
+struct OperationPriceOptions {
+  double mean_base_price = 1.0;  // average base price across clouds
+  double stddev_factor = 0.5;    // stddev = factor * base (paper: 1/2)
+  double floor = 0.05;           // truncation floor (prices stay positive)
+};
+
+// Base operation price per cloud, inversely proportional to capacity and
+// normalized so the average equals `mean_base_price`.
+std::vector<double> base_operation_prices(const std::vector<double>& capacity,
+                                          const OperationPriceOptions& options);
+
+// Real-time operation prices: T x I matrix (row per slot), each entry
+// Gaussian around the cloud's base price.
+std::vector<std::vector<double>> operation_price_series(
+    Rng& rng, const std::vector<double>& base_prices, std::size_t num_slots,
+    const OperationPriceOptions& options);
+
+struct BandwidthPriceOptions {
+  // Relative flat-rate prices of the three ISPs (euro / Mbps-month).
+  double tiscali = 2.49;
+  double vodafone = 4.86;
+  double infostrada = 1.25;
+  double scale = 0.4;  // converts the relative ratio into a per-unit price
+};
+
+// Per-cloud unit migration price, assigning clouds round-robin to the three
+// ISP clusters. The same price is used for b_in and b_out halves.
+std::vector<double> bandwidth_prices(std::size_t num_clouds,
+                                     const BandwidthPriceOptions& options);
+
+struct ReconfigurationPriceOptions {
+  double mean = 1.0;
+  double stddev = 0.5;
+  double floor = 0.0;  // negative tail cut
+};
+
+// Per-cloud reconfiguration price (static over time).
+std::vector<double> reconfiguration_prices(
+    Rng& rng, std::size_t num_clouds,
+    const ReconfigurationPriceOptions& options);
+
+}  // namespace eca::pricing

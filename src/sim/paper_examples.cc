@@ -1,0 +1,51 @@
+#include "sim/paper_examples.h"
+
+#include "common/check.h"
+
+namespace eca::sim {
+namespace {
+
+model::Instance make_example(double inter_cloud_delay,
+                             std::vector<std::size_t> user_path) {
+  model::Instance instance;
+  instance.num_clouds = 2;
+  instance.num_users = 1;
+  instance.num_slots = user_path.size();
+  instance.clouds.resize(2);
+  for (auto& cloud : instance.clouds) {
+    cloud.capacity = 2.0;
+    cloud.reconfiguration_price = 1.0;
+    cloud.migration_out_price = 0.5;
+    cloud.migration_in_price = 0.5;
+  }
+  instance.inter_cloud_delay = {{0.0, inter_cloud_delay},
+                                {inter_cloud_delay, 0.0}};
+  instance.demand = {1.0};
+  instance.operation_price.assign(instance.num_slots, {1.0, 1.0});
+  instance.access_delay.assign(instance.num_slots, {1.5});
+  instance.attachment.resize(instance.num_slots);
+  for (std::size_t t = 0; t < instance.num_slots; ++t) {
+    instance.attachment[t] = {user_path[t]};
+  }
+  ECA_CHECK(instance.validate().empty(), instance.validate());
+  return instance;
+}
+
+}  // namespace
+
+model::Instance figure1a_instance() {
+  return make_example(2.1, {0, 1, 0});  // A, B, A
+}
+
+model::Instance figure1b_instance() {
+  return make_example(1.9, {0, 1, 1});  // A, B, B
+}
+
+double figure1_initial_dynamic_cost() {
+  // Provisioning one unit at slot 1 from an empty system costs the
+  // reconfiguration price (1) plus the in-migration half (0.5); nothing
+  // migrates out of anywhere at t = 0.
+  return 1.5;
+}
+
+}  // namespace eca::sim

@@ -1,0 +1,39 @@
+// The didactic two-cloud examples of Figure 1 (Section II-E), reconstructed
+// exactly from the cost arithmetic in the text:
+//
+//  (a) "greedy is too aggressive": inter-cloud delay 2.1, user path A,B,A;
+//      greedy pays 11.5 while the optimum keeps the workload at A for 9.6.
+//  (b) "greedy is too conservative": inter-cloud delay 1.9, user path
+//      A,B,B; greedy pays 11.3 while the optimum migrates once for 9.5.
+//
+// Common prices: operation 1 at both clouds, access delay 1.5 every slot,
+// reconfiguration 1, migration 1 per unit moved (0.5 out + 0.5 in), one
+// user with unit demand. The paper's totals exclude the slot-1 provisioning
+// cost (both strategies pay it identically); initial_dynamic_cost() returns
+// that constant so tests can assert the paper's exact numbers.
+#pragma once
+
+#include "model/instance.h"
+
+namespace eca::sim {
+
+model::Instance figure1a_instance();
+model::Instance figure1b_instance();
+
+// The slot-1 reconfiguration + migration cost of provisioning one unit from
+// an empty system: c + b = 2 in both examples.
+double figure1_initial_dynamic_cost();
+
+// The paper's reported totals (excluding the initial provisioning cost).
+inline constexpr double kFigure1aGreedyCost = 11.5;
+inline constexpr double kFigure1aOptimalCost = 9.6;
+inline constexpr double kFigure1bGreedyCost = 11.3;
+inline constexpr double kFigure1bOptimalCost = 9.5;
+// When slot-1 provisioning is costed (P0 with x_0 = 0, as in our faithful
+// model), example (b) admits a strategy the paper's narrative skips:
+// provision directly at B in slot 1 (paying the 1.9 inter-cloud delay once)
+// and never migrate — 0.1 cheaper than migrate-at-slot-2. The offline LP
+// finds it.
+inline constexpr double kFigure1bTrueOptimalCost = 9.4;
+
+}  // namespace eca::sim

@@ -1,0 +1,76 @@
+#include "sim/runner.h"
+
+#include <cstdio>
+
+#include "algo/baselines.h"
+#include "algo/online_approx.h"
+#include "common/check.h"
+
+namespace eca::sim {
+
+std::vector<NamedFactory> paper_algorithms(bool include_static_once) {
+  std::vector<NamedFactory> out = {
+      {"perf-opt", [] { return std::make_unique<algo::PerfOpt>(); }},
+      {"oper-opt", [] { return std::make_unique<algo::OperOpt>(); }},
+      {"stat-opt", [] { return std::make_unique<algo::StatOpt>(); }},
+      {"online-greedy", [] { return std::make_unique<algo::OnlineGreedy>(); }},
+      {"online-approx", [] { return std::make_unique<algo::OnlineApprox>(); }},
+  };
+  if (include_static_once) {
+    out.insert(out.begin(),
+               {"static-once", [] { return std::make_unique<algo::StaticOnce>(); }});
+  }
+  return out;
+}
+
+const AlgorithmSummary* ExperimentResult::find(const std::string& name) const {
+  for (const auto& summary : algorithms) {
+    if (summary.name == name) return &summary;
+  }
+  return nullptr;
+}
+
+ExperimentResult run_experiment(
+    const std::function<model::Instance(int rep)>& make_instance,
+    const std::vector<NamedFactory>& algorithms,
+    const ExperimentOptions& options) {
+  ExperimentResult result;
+  result.algorithms.resize(algorithms.size());
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    result.algorithms[a].name = algorithms[a].name;
+  }
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    const model::Instance instance = make_instance(rep);
+    const algo::OfflineResult offline =
+        algo::solve_offline(instance, options.offline);
+    ECA_CHECK(offline.status == solve::SolveStatus::kOptimal,
+              "offline LP failed: ", solve::to_string(offline.status));
+    const SimulationResult offline_scored =
+        Simulator::score(instance, "offline-opt", offline.allocations);
+    const double denominator = offline_scored.weighted_total;
+    ECA_CHECK(denominator > 0.0, "offline optimum must be positive");
+    result.offline_cost.add(denominator);
+    if (options.verbose) {
+      std::fprintf(stderr, "rep %d: offline-opt cost %.4f\n", rep,
+                   denominator);
+    }
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      algo::AlgorithmPtr algorithm = algorithms[a].make();
+      const SimulationResult sim = Simulator::run(instance, *algorithm);
+      AlgorithmSummary& summary = result.algorithms[a];
+      summary.ratio.add(sim.weighted_total / denominator);
+      summary.absolute_cost.add(sim.weighted_total);
+      summary.wall_seconds.add(sim.wall_seconds);
+      summary.worst_violation =
+          std::max(summary.worst_violation, sim.max_violation);
+      if (options.verbose) {
+        std::fprintf(stderr, "rep %d: %-14s cost %.4f ratio %.4f (%.2fs)\n",
+                     rep, sim.algorithm.c_str(), sim.weighted_total,
+                     sim.weighted_total / denominator, sim.wall_seconds);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace eca::sim

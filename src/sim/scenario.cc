@@ -1,0 +1,125 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eca::sim {
+namespace {
+
+// Splits total capacity proportionally to attachment frequency with a small
+// floor share so no cloud ends up with (near-)zero capacity.
+model::Vec split_capacity(const std::vector<double>& frequency,
+                          double total_capacity, double floor_share) {
+  const std::size_t kI = frequency.size();
+  model::Vec weights(kI);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kI; ++i) {
+    weights[i] = frequency[i] + floor_share;
+    sum += weights[i];
+  }
+  model::Vec capacity(kI);
+  for (std::size_t i = 0; i < kI; ++i) {
+    capacity[i] = total_capacity * weights[i] / sum;
+  }
+  return capacity;
+}
+
+}  // namespace
+
+model::Instance make_instance(const geo::MetroNetwork& network,
+                              const mobility::MobilityModel& mobility,
+                              const ScenarioOptions& options) {
+  ECA_CHECK(options.num_users > 0 && options.num_slots > 0);
+  ECA_CHECK(options.capacity_factor > 1.0,
+            "capacity must strictly exceed total demand");
+  Rng root(options.seed);
+  Rng workload_rng = root.split(1);
+  Rng mobility_rng = root.split(2);
+  Rng price_rng = root.split(3);
+
+  model::Instance instance;
+  instance.num_clouds = network.size();
+  instance.num_users = options.num_users;
+  instance.num_slots = options.num_slots;
+  instance.weights = model::CostWeights::from_mu(options.mu);
+
+  // Demands.
+  instance.demand = workload::generate_demands(workload_rng, options.num_users,
+                                               options.workload);
+
+  // Mobility trace -> attachments, access delays, attachment frequency.
+  const mobility::MobilityTrace trace =
+      mobility.generate(mobility_rng, options.num_users, options.num_slots);
+  instance.attachment = trace.attachment;
+  instance.access_delay.assign(options.num_slots,
+                               model::Vec(options.num_users, 0.0));
+  for (std::size_t t = 0; t < options.num_slots; ++t) {
+    for (std::size_t j = 0; j < options.num_users; ++j) {
+      const auto& station = network.station(trace.attachment[t][j]);
+      instance.access_delay[t][j] =
+          options.delay_price_per_km *
+          geo::haversine_km(trace.position[t][j], station.position);
+    }
+  }
+
+  // Capacities: capacity_factor x total workload, split by frequency.
+  const double total_capacity =
+      options.capacity_factor * instance.total_demand();
+  const model::Vec capacity =
+      split_capacity(trace.attachment_frequency(network.size()),
+                     total_capacity, options.capacity_floor_share);
+
+  // Prices.
+  const std::vector<double> base_prices =
+      pricing::base_operation_prices(capacity, options.operation_price);
+  instance.operation_price = pricing::operation_price_series(
+      price_rng, base_prices, options.num_slots, options.operation_price);
+  const std::vector<double> bandwidth =
+      pricing::bandwidth_prices(network.size(), options.bandwidth_price);
+  const std::vector<double> reconfiguration = pricing::reconfiguration_prices(
+      price_rng, network.size(), options.reconfiguration_price);
+
+  instance.clouds.resize(network.size());
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    instance.clouds[i].capacity = capacity[i];
+    instance.clouds[i].reconfiguration_price = reconfiguration[i];
+    // The cluster price covers the link; both migration ends pay half.
+    instance.clouds[i].migration_in_price = bandwidth[i] / 2.0;
+    instance.clouds[i].migration_out_price = bandwidth[i] / 2.0;
+  }
+
+  // Inter-cloud delays priced by geographic distance.
+  instance.inter_cloud_delay.assign(network.size(),
+                                    model::Vec(network.size(), 0.0));
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    for (std::size_t k = i + 1; k < network.size(); ++k) {
+      const double delay =
+          options.delay_price_per_km * network.distance_km(i, k);
+      instance.inter_cloud_delay[i][k] = delay;
+      instance.inter_cloud_delay[k][i] = delay;
+    }
+  }
+
+  const std::string instance_error = instance.validate();
+  ECA_CHECK(instance_error.empty(), instance_error);
+  return instance;
+}
+
+model::Instance make_rome_taxi_instance(const ScenarioOptions& options,
+                                        int hour_case) {
+  ECA_CHECK(hour_case >= 0 && hour_case < 6, "hour case must be in [0, 5]");
+  ScenarioOptions adjusted = options;
+  // Each hourly case is an independent hour of traffic: reseed.
+  adjusted.seed = options.seed * 6007 + static_cast<std::uint64_t>(hour_case);
+  const mobility::TaxiMobility taxi(geo::rome_metro());
+  return make_instance(geo::rome_metro(), taxi, adjusted);
+}
+
+model::Instance make_random_walk_instance(const ScenarioOptions& options) {
+  const mobility::RandomWalkMobility walk(geo::rome_metro());
+  return make_instance(geo::rome_metro(), walk, options);
+}
+
+}  // namespace eca::sim

@@ -1,0 +1,51 @@
+// Scenario builders reproducing the paper's experimental settings
+// (Section V-A): the Rome 15-station edge cloud system, taxi-like and
+// random-walk mobility, the three workload distributions, capacity sized at
+// 1.25x total workload and split proportionally to attachment frequency,
+// operation prices inverse to capacity with Gaussian per-slot variation,
+// three-ISP bandwidth price clusters, and truncated-Gaussian
+// reconfiguration prices.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/metro.h"
+#include "mobility/mobility.h"
+#include "model/instance.h"
+#include "pricing/pricing.h"
+#include "workload/workload.h"
+
+namespace eca::sim {
+
+struct ScenarioOptions {
+  std::size_t num_users = 60;
+  std::size_t num_slots = 60;  // one hour of one-minute slots
+  workload::WorkloadOptions workload;
+  double capacity_factor = 1.25;  // total capacity / total demand (80% util)
+  double mu = 1.0;                // dynamic/static weight ratio (Fig. 4b)
+  double delay_price_per_km = 1.0;  // service-quality price per km
+  // Minimum share of total capacity any cloud receives (avoids zero-capacity
+  // clouds when a station attracts no users in the trace).
+  double capacity_floor_share = 0.01;
+  pricing::OperationPriceOptions operation_price;
+  pricing::BandwidthPriceOptions bandwidth_price;
+  pricing::ReconfigurationPriceOptions reconfiguration_price;
+  std::uint64_t seed = 1;
+};
+
+// Builds an instance from an explicit mobility model on a metro network.
+model::Instance make_instance(const geo::MetroNetwork& network,
+                              const mobility::MobilityModel& mobility,
+                              const ScenarioOptions& options);
+
+// The paper's real-world setting: 15 Rome metro stations, taxi mobility
+// emulation. `hour_case` in [0, 5] selects one of the six hourly test cases
+// (3pm..8pm) by reseeding the trace.
+model::Instance make_rome_taxi_instance(const ScenarioOptions& options,
+                                        int hour_case = 0);
+
+// The paper's synthetic setting (Section V-D): random-walk mobility on the
+// Rome metro graph.
+model::Instance make_random_walk_instance(const ScenarioOptions& options);
+
+}  // namespace eca::sim

@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace eca::sim {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+SimulationResult Simulator::run(const Instance& instance,
+                                algo::OnlineAlgorithm& algorithm) {
+  const std::string instance_error = instance.validate();
+  ECA_CHECK(instance_error.empty(), instance_error);
+
+  const auto start = std::chrono::steady_clock::now();
+  algorithm.reset(instance);
+  AllocationSequence seq;
+  seq.reserve(instance.num_slots);
+  model::Allocation previous(instance.num_clouds, instance.num_users);
+  // Interior-point and first-order solvers leave O(tolerance) dust in
+  // coordinates that are zero at the optimum; rounding it off keeps the
+  // next slot's subproblem well-conditioned and is cost-neutral (demands
+  // are >= 1).
+  constexpr double kDust = 1e-9;
+  for (std::size_t t = 0; t < instance.num_slots; ++t) {
+    model::Allocation current = algorithm.decide(instance, t, previous);
+    ECA_CHECK(current.num_clouds == instance.num_clouds &&
+                  current.num_users == instance.num_users,
+              "algorithm returned an allocation of the wrong shape");
+    for (double& v : current.x) {
+      if (v < kDust) v = 0.0;
+    }
+    previous = current;
+    seq.push_back(std::move(current));
+  }
+  SimulationResult result = score(instance, algorithm.name(), std::move(seq));
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+SimulationResult Simulator::score(const Instance& instance, std::string name,
+                                  AllocationSequence allocations) {
+  SimulationResult result;
+  result.algorithm = std::move(name);
+  result.cost = model::total_cost(instance, allocations);
+  result.weighted_total = result.cost.total(instance.weights);
+  result.per_slot.reserve(instance.num_slots);
+  for (std::size_t t = 0; t < instance.num_slots; ++t) {
+    const model::CostBreakdown slot = model::slot_cost(
+        instance, t, allocations[t], t > 0 ? &allocations[t - 1] : nullptr);
+    result.per_slot.push_back(slot.total(instance.weights));
+  }
+  result.max_violation = model::max_violation(instance, allocations);
+  result.allocations = std::move(allocations);
+  return result;
+}
+
+}  // namespace eca::sim

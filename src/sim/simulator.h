@@ -1,0 +1,42 @@
+// Discrete-time simulator: drives an online algorithm slot by slot over an
+// instance, collects its allocation sequence and scores it under the
+// original P0 objective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algo/algorithm.h"
+#include "algo/offline.h"
+#include "model/costs.h"
+
+namespace eca::sim {
+
+using model::AllocationSequence;
+using model::CostBreakdown;
+using model::Instance;
+
+struct SimulationResult {
+  std::string algorithm;
+  AllocationSequence allocations;
+  CostBreakdown cost;
+  double weighted_total = 0.0;
+  // Per-slot weighted totals (for time-series inspection).
+  std::vector<double> per_slot;
+  double wall_seconds = 0.0;
+  double max_violation = 0.0;  // feasibility of the produced sequence
+};
+
+class Simulator {
+ public:
+  // Runs `algorithm` online over the instance.
+  [[nodiscard]] static SimulationResult run(const Instance& instance,
+                                            algo::OnlineAlgorithm& algorithm);
+
+  // Scores a precomputed allocation sequence (e.g. the offline optimum).
+  [[nodiscard]] static SimulationResult score(const Instance& instance,
+                                              std::string name,
+                                              AllocationSequence allocations);
+};
+
+}  // namespace eca::sim

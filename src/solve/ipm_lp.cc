@@ -1,0 +1,432 @@
+#include "solve/ipm_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "linalg/dense_matrix.h"
+
+namespace eca::solve {
+namespace {
+
+using linalg::Cholesky;
+using linalg::DenseMatrix;
+
+constexpr double kFixedTol = 1e-12;
+
+// Internal standard form: min c'x, Ax = b, 0 <= x, x_i <= u_i (i in U).
+struct StandardForm {
+  std::size_t n = 0;  // internal variable count (shifted structurals + slacks)
+  std::size_t m = 0;  // internal row count
+  Vec c;
+  Vec b;
+  Vec upper;  // +inf when unbounded above
+  // Column-wise sparse A.
+  std::vector<std::vector<std::pair<std::size_t, double>>> columns;
+  double objective_constant = 0.0;
+
+  // Mapping back to the original problem.
+  std::vector<std::ptrdiff_t> var_map;  // orig var -> internal idx (-1: fixed)
+  Vec fixed_value;                      // orig var -> value when fixed
+  Vec lower_shift;                      // orig var -> lower bound
+  std::vector<std::ptrdiff_t> row_map;  // orig row -> internal row (-1: none)
+  bool infeasible_constant_row = false;
+};
+
+StandardForm build_standard_form(const LpProblem& lp) {
+  StandardForm sf;
+  sf.var_map.assign(lp.num_vars, -1);
+  sf.fixed_value.assign(lp.num_vars, 0.0);
+  sf.lower_shift.assign(lp.num_vars, 0.0);
+  sf.row_map.assign(lp.num_rows, -1);
+
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    const double lb = lp.var_lower[j];
+    const double ub = lp.var_upper[j];
+    ECA_CHECK(std::isfinite(lb), "IPM requires finite lower bounds");
+    ECA_CHECK(ub >= lb - kFixedTol, "variable bounds crossed");
+    sf.lower_shift[j] = lb;
+    if (ub - lb <= kFixedTol) {
+      sf.fixed_value[j] = lb;
+      continue;
+    }
+    sf.var_map[j] = static_cast<std::ptrdiff_t>(sf.n);
+    sf.c.push_back(lp.objective[j]);
+    sf.upper.push_back(ub - lb);
+    sf.columns.emplace_back();
+    ++sf.n;
+    sf.objective_constant += lp.objective[j] * lb;
+  }
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    if (sf.var_map[j] < 0) sf.objective_constant += lp.objective[j] * sf.fixed_value[j];
+  }
+
+  // Per-row constant shift from fixed variables and lower-bound shifts.
+  Vec shift(lp.num_rows, 0.0);
+  std::vector<bool> has_free(lp.num_rows, false);
+  for (const auto& t : lp.elements) {
+    if (sf.var_map[t.col] >= 0) {
+      shift[t.row] += t.value * sf.lower_shift[t.col];
+      has_free[t.row] = true;
+    } else {
+      shift[t.row] += t.value * sf.fixed_value[t.col];
+    }
+  }
+
+  for (std::size_t r = 0; r < lp.num_rows; ++r) {
+    const double lo = lp.row_lower[r];
+    const double hi = lp.row_upper[r];
+    if (lo == -kInf && hi == kInf) continue;  // vacuous
+    const double lo_adj = lo == -kInf ? -kInf : lo - shift[r];
+    const double hi_adj = hi == kInf ? kInf : hi - shift[r];
+    if (!has_free[r]) {
+      // Constant row: either trivially satisfied or proves infeasibility.
+      if (lo_adj > 1e-9 || hi_adj < -1e-9) sf.infeasible_constant_row = true;
+      continue;
+    }
+    const std::size_t row = sf.m++;
+    sf.row_map[r] = static_cast<std::ptrdiff_t>(row);
+    if (lo != -kInf && hi != kInf && hi_adj - lo_adj <= kFixedTol) {
+      sf.b.push_back(lo_adj);  // equality row, no slack
+    } else if (lo != -kInf) {
+      // a'x - s = lo, s in [0, hi - lo] (or +inf).
+      sf.b.push_back(lo_adj);
+      sf.c.push_back(0.0);
+      sf.upper.push_back(hi == kInf ? kInf : hi_adj - lo_adj);
+      sf.columns.emplace_back();
+      sf.columns.back().push_back({row, -1.0});
+      ++sf.n;
+    } else {
+      // a'x + s = hi, s >= 0.
+      sf.b.push_back(hi_adj);
+      sf.c.push_back(0.0);
+      sf.upper.push_back(kInf);
+      sf.columns.emplace_back();
+      sf.columns.back().push_back({row, 1.0});
+      ++sf.n;
+    }
+  }
+
+  for (const auto& t : lp.elements) {
+    const std::ptrdiff_t col = sf.var_map[t.col];
+    const std::ptrdiff_t row = sf.row_map[t.row];
+    if (col >= 0 && row >= 0) {
+      sf.columns[static_cast<std::size_t>(col)].push_back(
+          {static_cast<std::size_t>(row), t.value});
+    }
+  }
+  return sf;
+}
+
+// y = A x (column-wise A).
+void col_multiply(const StandardForm& sf, const Vec& x, Vec& out) {
+  out.assign(sf.m, 0.0);
+  for (std::size_t j = 0; j < sf.n; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (const auto& [r, v] : sf.columns[j]) out[r] += v * xj;
+  }
+}
+
+// out = A^T y.
+void col_multiply_transpose(const StandardForm& sf, const Vec& y, Vec& out) {
+  out.assign(sf.n, 0.0);
+  for (std::size_t j = 0; j < sf.n; ++j) {
+    double acc = 0.0;
+    for (const auto& [r, v] : sf.columns[j]) acc += v * y[r];
+    out[j] = acc;
+  }
+}
+
+}  // namespace
+
+LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
+  LpSolution sol;
+  const std::string problem_error = lp.validate();
+  ECA_CHECK(problem_error.empty(), problem_error);
+
+  StandardForm sf = build_standard_form(lp);
+  if (sf.infeasible_constant_row) {
+    sol.status = SolveStatus::kPrimalInfeasible;
+    return sol;
+  }
+
+  const std::size_t n = sf.n;
+  const std::size_t m = sf.m;
+
+  // Trivial case: no coupling rows — each variable sits at its cheaper bound.
+  if (m == 0) {
+    sol.x.assign(lp.num_vars, 0.0);
+    sol.row_duals.assign(lp.num_rows, 0.0);
+    double obj = 0.0;
+    for (std::size_t j = 0; j < lp.num_vars; ++j) {
+      double value = 0.0;
+      if (sf.var_map[j] < 0) {
+        value = sf.fixed_value[j];
+      } else if (lp.objective[j] >= 0.0) {
+        value = lp.var_lower[j];
+      } else if (lp.var_upper[j] < kInf) {
+        value = lp.var_upper[j];
+      } else {
+        sol.status = SolveStatus::kDualInfeasible;
+        return sol;
+      }
+      sol.x[j] = value;
+      obj += lp.objective[j] * value;
+    }
+    sol.objective_value = obj;
+    sol.status = SolveStatus::kOptimal;
+    return sol;
+  }
+
+  std::vector<std::size_t> upper_set;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (sf.upper[j] < kInf) upper_set.push_back(j);
+  }
+
+  const double b_scale = 1.0 + linalg::norm_inf(sf.b);
+  const double c_scale = 1.0 + linalg::norm_inf(sf.c);
+
+  // Starting point: strictly interior, magnitude matched to the data.
+  Vec x(n), z(n), y(m, 0.0);
+  Vec w(n, 0.0), v(n, 0.0);  // only entries in upper_set are meaningful
+  for (std::size_t j = 0; j < n; ++j) {
+    const double cap = sf.upper[j] < kInf ? sf.upper[j] / 2.0 : kInf;
+    x[j] = std::min(b_scale, cap > 0.0 ? cap : b_scale);
+    if (x[j] <= 0.0) x[j] = 1e-4;
+    z[j] = std::max(1.0, std::abs(sf.c[j]));
+  }
+  for (std::size_t j : upper_set) {
+    w[j] = sf.upper[j] - x[j];
+    if (w[j] <= 0.0) {
+      x[j] = sf.upper[j] / 2.0;
+      w[j] = sf.upper[j] - x[j];
+    }
+    v[j] = 1.0;
+  }
+
+  const std::size_t comp_dim = n + upper_set.size();
+  Vec ax(m), aty(n);
+  Vec rb(m), rc(n), ru(n, 0.0);
+  Vec theta(n), g(n), rhs(m);
+  Vec dx(n), dy(m), dz(n), dw(n, 0.0), dv(n, 0.0);
+  Vec dx_aff(n), dz_aff(n), dw_aff(n, 0.0), dv_aff(n, 0.0);
+  Vec rxz(n), rwv(n, 0.0);
+  DenseMatrix normal(m, m);
+  Cholesky chol;
+
+  auto compute_residuals = [&] {
+    col_multiply(sf, x, ax);
+    for (std::size_t r = 0; r < m; ++r) rb[r] = sf.b[r] - ax[r];
+    col_multiply_transpose(sf, y, aty);
+    for (std::size_t j = 0; j < n; ++j) rc[j] = sf.c[j] - aty[j] - z[j];
+    for (std::size_t j : upper_set) {
+      rc[j] += v[j];
+      ru[j] = sf.upper[j] - x[j] - w[j];
+    }
+  };
+
+  auto duality_mu = [&] {
+    double acc = linalg::dot(x, z);
+    for (std::size_t j : upper_set) acc += w[j] * v[j];
+    return acc / static_cast<double>(comp_dim);
+  };
+
+  double mu = duality_mu();
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    compute_residuals();
+    const double rel_rb = linalg::norm_inf(rb) / b_scale;
+    const double rel_rc = linalg::norm_inf(rc) / c_scale;
+    const double rel_ru = linalg::norm_inf(ru) / b_scale;
+    const double primal_obj = linalg::dot(sf.c, x);
+    double dual_obj = linalg::dot(sf.b, y);
+    for (std::size_t j : upper_set) dual_obj -= sf.upper[j] * v[j];
+    const double rel_gap = std::abs(primal_obj - dual_obj) /
+                           (1.0 + std::abs(primal_obj) + std::abs(dual_obj));
+    if (options_.verbose) {
+      std::fprintf(stderr, "ipm iter %3d: mu=%.3e rb=%.3e rc=%.3e gap=%.3e\n",
+                   iter, mu, rel_rb, rel_rc, rel_gap);
+    }
+    sol.iterations = iter;
+    sol.primal_residual = std::max(rel_rb, rel_ru);
+    sol.dual_residual = rel_rc;
+    sol.gap = rel_gap;
+    if (rel_rb < options_.tolerance && rel_rc < options_.tolerance &&
+        rel_ru < options_.tolerance && rel_gap < options_.tolerance) {
+      sol.status = SolveStatus::kOptimal;
+      break;
+    }
+    // Numerical floor: once the complementarity has collapsed far below the
+    // residuals, no further progress is possible in double precision.
+    // Accept a near-optimal point rather than grinding to a failure.
+    if (mu < 1e-13) {
+      const double soft = 100.0 * options_.tolerance;
+      if (rel_rb < soft && rel_rc < soft && rel_ru < soft && rel_gap < soft) {
+        sol.status = SolveStatus::kOptimal;
+      } else {
+        sol.status = SolveStatus::kNumericalError;
+      }
+      break;
+    }
+    // Divergence heuristics.
+    if (linalg::norm_inf(x) > 1e13) {
+      sol.status = SolveStatus::kDualInfeasible;
+      return sol;
+    }
+    if (linalg::norm_inf(z) > 1e13 || linalg::norm_inf(y) > 1e13) {
+      sol.status = SolveStatus::kPrimalInfeasible;
+      return sol;
+    }
+
+    // Scaling matrix Theta = (Z/X + V/W)^{-1}.
+    for (std::size_t j = 0; j < n; ++j) theta[j] = z[j] / x[j];
+    for (std::size_t j : upper_set) theta[j] += v[j] / w[j];
+    for (std::size_t j = 0; j < n; ++j) theta[j] = 1.0 / theta[j];
+
+    // Normal matrix A Theta A' with diagonal regularization; factor once per
+    // iteration, reuse for predictor and corrector.
+    double reg = options_.regularization * (1.0 + mu);
+    bool factorization_failed = false;
+    for (;;) {
+      normal = DenseMatrix(m, m);
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto& col = sf.columns[j];
+        const double t = theta[j];
+        for (std::size_t p = 0; p < col.size(); ++p) {
+          for (std::size_t q = p; q < col.size(); ++q) {
+            const double val = t * col[p].second * col[q].second;
+            normal(col[p].first, col[q].first) += val;
+            if (p != q) normal(col[q].first, col[p].first) += val;
+          }
+        }
+      }
+      for (std::size_t r = 0; r < m; ++r) normal(r, r) += reg;
+      if (chol.factor(normal)) break;
+      reg = std::max(reg * 100.0, 1e-12);
+      if (reg > 1e2) {
+        factorization_failed = true;
+        break;
+      }
+    }
+    if (factorization_failed) {
+      sol.status = SolveStatus::kNumericalError;
+      break;
+    }
+
+    auto solve_direction = [&](const Vec& rxz_in, const Vec& rwv_in, Vec& odx,
+                               Vec& ody, Vec& odz, Vec& odw, Vec& odv) {
+      // g = X^{-1} rxz - W^{-1} rwv + W^{-1} V ru - rc
+      for (std::size_t j = 0; j < n; ++j) g[j] = rxz_in[j] / x[j] - rc[j];
+      for (std::size_t j : upper_set) {
+        g[j] += (-rwv_in[j] + v[j] * ru[j]) / w[j];
+      }
+      // rhs = rb - A Theta g  (note dx = Theta (A'dy + g), A dx = rb)
+      Vec tg(n);
+      for (std::size_t j = 0; j < n; ++j) tg[j] = theta[j] * g[j];
+      Vec atg(m);
+      col_multiply(sf, tg, atg);
+      for (std::size_t r = 0; r < m; ++r) rhs[r] = rb[r] - atg[r];
+      ody = chol.solve(rhs);
+      Vec atdy(n);
+      col_multiply_transpose(sf, ody, atdy);
+      for (std::size_t j = 0; j < n; ++j) {
+        odx[j] = theta[j] * (atdy[j] + g[j]);
+        odz[j] = (rxz_in[j] - z[j] * odx[j]) / x[j];
+      }
+      for (std::size_t j : upper_set) {
+        odw[j] = ru[j] - odx[j];
+        odv[j] = (rwv_in[j] - v[j] * odw[j]) / w[j];
+      }
+    };
+
+    auto max_step = [&](const Vec& xx, const Vec& dxx, const Vec& ww,
+                        const Vec& dww) {
+      double alpha = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (dxx[j] < 0.0) alpha = std::min(alpha, -xx[j] / dxx[j]);
+      }
+      for (std::size_t j : upper_set) {
+        if (dww[j] < 0.0) alpha = std::min(alpha, -ww[j] / dww[j]);
+      }
+      return alpha;
+    };
+
+    // Predictor (affine scaling) direction.
+    for (std::size_t j = 0; j < n; ++j) rxz[j] = -x[j] * z[j];
+    for (std::size_t j : upper_set) rwv[j] = -w[j] * v[j];
+    solve_direction(rxz, rwv, dx_aff, dy, dz_aff, dw_aff, dv_aff);
+    const double alpha_p_aff = max_step(x, dx_aff, w, dw_aff);
+    const double alpha_d_aff = max_step(z, dz_aff, v, dv_aff);
+
+    double mu_aff = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      mu_aff += (x[j] + alpha_p_aff * dx_aff[j]) *
+                (z[j] + alpha_d_aff * dz_aff[j]);
+    }
+    for (std::size_t j : upper_set) {
+      mu_aff += (w[j] + alpha_p_aff * dw_aff[j]) *
+                (v[j] + alpha_d_aff * dv_aff[j]);
+    }
+    mu_aff /= static_cast<double>(comp_dim);
+    const double ratio = mu_aff / std::max(mu, 1e-300);
+    const double sigma = std::clamp(ratio * ratio * ratio, 0.0, 1.0);
+
+    // Corrector.
+    for (std::size_t j = 0; j < n; ++j) {
+      rxz[j] = sigma * mu - x[j] * z[j] - dx_aff[j] * dz_aff[j];
+    }
+    for (std::size_t j : upper_set) {
+      rwv[j] = sigma * mu - w[j] * v[j] - dw_aff[j] * dv_aff[j];
+    }
+    solve_direction(rxz, rwv, dx, dy, dz, dw, dv);
+
+    const double gamma = 0.9995;
+    const double alpha_p = std::min(1.0, gamma * max_step(x, dx, w, dw));
+    const double alpha_d = std::min(1.0, gamma * max_step(z, dz, v, dv));
+    for (std::size_t j = 0; j < n; ++j) {
+      x[j] += alpha_p * dx[j];
+      z[j] += alpha_d * dz[j];
+    }
+    for (std::size_t r = 0; r < m; ++r) y[r] += alpha_d * dy[r];
+    for (std::size_t j : upper_set) {
+      w[j] += alpha_p * dw[j];
+      v[j] += alpha_d * dv[j];
+    }
+    mu = duality_mu();
+    if (iter + 1 == options_.max_iterations) {
+      sol.status = SolveStatus::kIterationLimit;
+    }
+  }
+  if (sol.status == SolveStatus::kNumericalError) {
+    // A failed factorization late in the solve usually means the iterate is
+    // already at the numerical floor; accept it when close to tolerance.
+    const double soft = 100.0 * options_.tolerance;
+    if (sol.primal_residual < soft && sol.dual_residual < soft &&
+        sol.gap < soft) {
+      sol.status = SolveStatus::kOptimal;
+    }
+  } else if (sol.status != SolveStatus::kOptimal) {
+    sol.status = SolveStatus::kIterationLimit;
+  }
+
+  // Expand to the original variable space.
+  sol.x.assign(lp.num_vars, 0.0);
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    if (sf.var_map[j] >= 0) {
+      sol.x[j] = x[static_cast<std::size_t>(sf.var_map[j])] + sf.lower_shift[j];
+    } else {
+      sol.x[j] = sf.fixed_value[j];
+    }
+  }
+  sol.row_duals.assign(lp.num_rows, 0.0);
+  for (std::size_t r = 0; r < lp.num_rows; ++r) {
+    if (sf.row_map[r] >= 0) {
+      sol.row_duals[r] = y[static_cast<std::size_t>(sf.row_map[r])];
+    }
+  }
+  sol.objective_value = linalg::dot(lp.objective, sol.x);
+  return sol;
+}
+
+}  // namespace eca::solve

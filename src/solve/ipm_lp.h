@@ -1,0 +1,36 @@
+// Dense Mehrotra predictor-corrector interior-point method for LPs.
+//
+// This is the "exact" LP solver of the suite, intended for problems whose row
+// count (after adding one slack per inequality row) is at most a few
+// thousand: per-slot baseline LPs and small full-horizon LPs. It converts the
+// LpProblem to the standard form
+//
+//   min c' x   s.t.  A x = b,  0 <= x,  x_i <= u_i for i with finite bound,
+//
+// eliminating fixed variables, shifting lower bounds to zero and adding one
+// slack per inequality row, then runs the classic predictor-corrector scheme
+// with normal-equations solves (dense Cholesky with diagonal regularization).
+#pragma once
+
+#include "solve/lp_problem.h"
+
+namespace eca::solve {
+
+struct IpmOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-8;        // relative primal/dual/gap tolerance
+  double regularization = 1e-10;  // added to the normal matrix diagonal
+  bool verbose = false;
+};
+
+class InteriorPointLp {
+ public:
+  explicit InteriorPointLp(IpmOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] LpSolution solve(const LpProblem& lp) const;
+
+ private:
+  IpmOptions options_;
+};
+
+}  // namespace eca::solve

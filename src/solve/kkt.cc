@@ -1,0 +1,180 @@
+#include "solve/kkt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eca::solve {
+
+KktReport check_regularized_kkt(const RegularizedProblem& p,
+                                const RegularizedSolution& s) {
+  KktReport report;
+  const std::size_t kI = p.num_clouds;
+  const std::size_t kJ = p.num_users;
+  ECA_CHECK(s.x.size() == kI * kJ);
+  ECA_CHECK(s.theta.size() == kJ && s.rho.size() == kI);
+
+  // Scale for relative residuals.
+  const double scale = 1.0 + linalg::norm_inf(p.linear_cost);
+
+  // Primal feasibility.
+  Vec demand_slack(kJ, 0.0);
+  Vec agg(kI, 0.0);
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const double v = s.x[p.index(i, j)];
+      report.primal_infeasibility = std::max(report.primal_infeasibility, -v);
+      agg[i] += v;
+      demand_slack[j] += v;
+    }
+  }
+  for (std::size_t j = 0; j < kJ; ++j) {
+    demand_slack[j] -= p.demand[j];
+    report.primal_infeasibility =
+        std::max(report.primal_infeasibility, -demand_slack[j]);
+  }
+  const double total = linalg::sum(agg);
+  const double lambda_total = p.total_demand();
+  Vec comp_slack(kI, 0.0);
+  for (std::size_t i = 0; i < kI; ++i) {
+    comp_slack[i] = total - agg[i] - (lambda_total - p.capacity[i]);
+    if (kI >= 2) {
+      report.primal_infeasibility =
+          std::max(report.primal_infeasibility, -comp_slack[i]);
+    }
+  }
+  const Vec kappa = s.kappa.empty() ? Vec(kI, 0.0) : s.kappa;
+  Vec cap_slack(kI, 0.0);
+  for (std::size_t i = 0; i < kI; ++i) {
+    cap_slack[i] = p.capacity[i] - agg[i];
+    if (p.enforce_capacity) {
+      report.primal_infeasibility =
+          std::max(report.primal_infeasibility, -cap_slack[i]);
+    }
+  }
+
+  // Dual feasibility.
+  for (double v : s.theta) {
+    report.dual_infeasibility = std::max(report.dual_infeasibility, -v);
+  }
+  for (double v : s.rho) {
+    report.dual_infeasibility = std::max(report.dual_infeasibility, -v);
+  }
+  for (double v : s.delta) {
+    report.dual_infeasibility = std::max(report.dual_infeasibility, -v);
+  }
+  for (double v : kappa) {
+    report.dual_infeasibility = std::max(report.dual_infeasibility, -v);
+  }
+
+  // Stationarity (15a), extended with the optional capacity multiplier:
+  // ∇f_ij − θ_j − Σ_{k≠i} ρ_k + κ_i − δ_ij = 0.
+  const Vec grad = p.gradient(s.x);
+  double rho_total = linalg::sum(s.rho);
+  for (std::size_t i = 0; i < kI; ++i) {
+    const double rho_except = rho_total - s.rho[i];
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const std::size_t ij = p.index(i, j);
+      const double resid = grad[ij] - s.theta[j] -
+                           (kI >= 2 ? rho_except : 0.0) + kappa[i] -
+                           s.delta[ij];
+      report.stationarity =
+          std::max(report.stationarity, std::abs(resid) / scale);
+    }
+  }
+
+  // Complementary slackness (15b)-(15d).
+  for (std::size_t j = 0; j < kJ; ++j) {
+    report.complementarity = std::max(
+        report.complementarity, std::abs(s.theta[j] * demand_slack[j]) / scale);
+  }
+  if (kI >= 2) {
+    for (std::size_t i = 0; i < kI; ++i) {
+      report.complementarity = std::max(
+          report.complementarity, std::abs(s.rho[i] * comp_slack[i]) / scale);
+    }
+  }
+  if (p.enforce_capacity) {
+    for (std::size_t i = 0; i < kI; ++i) {
+      report.complementarity = std::max(
+          report.complementarity, std::abs(kappa[i] * cap_slack[i]) / scale);
+    }
+  }
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const std::size_t ij = p.index(i, j);
+      report.complementarity = std::max(
+          report.complementarity, std::abs(s.delta[ij] * s.x[ij]) / scale);
+    }
+  }
+  return report;
+}
+
+KktReport check_lp_kkt(const LpProblem& lp, const LpSolution& s) {
+  KktReport report;
+  ECA_CHECK(s.x.size() == lp.num_vars);
+  ECA_CHECK(s.row_duals.size() == lp.num_rows);
+  const double c_scale = 1.0 + linalg::norm_inf(lp.objective);
+
+  report.primal_infeasibility = max_constraint_violation(lp, s.x);
+
+  Vec row_value(lp.num_rows, 0.0);
+  for (const auto& t : lp.elements) row_value[t.row] += t.value * s.x[t.col];
+
+  // Dual feasibility and row complementarity. Convention: y_r >= 0 when the
+  // lower row bound is the only candidate, y_r <= 0 for the upper bound;
+  // two-sided rows allow either sign but complementarity must pick the
+  // matching side.
+  for (std::size_t r = 0; r < lp.num_rows; ++r) {
+    const double y = s.row_duals[r];
+    if (y > 0.0) {
+      if (lp.row_lower[r] == -kInf) {
+        report.dual_infeasibility = std::max(report.dual_infeasibility, y);
+      } else {
+        report.complementarity =
+            std::max(report.complementarity,
+                     std::abs(y * (row_value[r] - lp.row_lower[r])) / c_scale);
+      }
+    } else if (y < 0.0) {
+      if (lp.row_upper[r] == kInf) {
+        report.dual_infeasibility = std::max(report.dual_infeasibility, -y);
+      } else {
+        report.complementarity =
+            std::max(report.complementarity,
+                     std::abs(y * (row_value[r] - lp.row_upper[r])) / c_scale);
+      }
+    }
+  }
+
+  // Stationarity via reduced costs: rc = c - A'y must lie in the normal cone
+  // of the box at x.
+  Vec reduced = lp.objective;
+  for (const auto& t : lp.elements) {
+    reduced[t.col] -= t.value * s.row_duals[t.row];
+  }
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    const double rc = reduced[j];
+    if (rc > 0.0) {
+      // Must be at the lower bound.
+      if (lp.var_lower[j] == -kInf) {
+        report.stationarity = std::max(report.stationarity, rc / c_scale);
+      } else {
+        report.complementarity =
+            std::max(report.complementarity,
+                     std::abs(rc * (s.x[j] - lp.var_lower[j])) / c_scale);
+      }
+    } else if (rc < 0.0) {
+      if (lp.var_upper[j] == kInf) {
+        report.stationarity = std::max(report.stationarity, -rc / c_scale);
+      } else {
+        report.complementarity =
+            std::max(report.complementarity,
+                     std::abs(rc * (lp.var_upper[j] - s.x[j])) / c_scale);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace eca::solve

@@ -1,0 +1,35 @@
+// KKT residual computation for solver verification.
+//
+// These checks are what the property-based solver tests assert: a returned
+// (primal, dual) pair is accepted as optimal only when primal feasibility,
+// dual feasibility, stationarity and complementary slackness all hold to
+// tolerance. They are also exported so users can audit solutions.
+#pragma once
+
+#include <algorithm>
+
+#include "solve/lp_problem.h"
+#include "solve/regularized_solver.h"
+
+namespace eca::solve {
+
+struct KktReport {
+  double primal_infeasibility = 0.0;   // max constraint violation
+  double dual_infeasibility = 0.0;     // max negative multiplier / sign error
+  double stationarity = 0.0;           // max |∇L| component
+  double complementarity = 0.0;        // max |multiplier * slack|
+  [[nodiscard]] double worst() const {
+    return std::max({primal_infeasibility, dual_infeasibility, stationarity,
+                     complementarity});
+  }
+};
+
+// KKT residuals of a P2 solution (Section IV, equations (15a)-(15e)).
+KktReport check_regularized_kkt(const RegularizedProblem& problem,
+                                const RegularizedSolution& solution);
+
+// KKT residuals of an LP solution given row duals (our sign convention:
+// positive for active lower row bounds, negative for active upper ones).
+KktReport check_lp_kkt(const LpProblem& lp, const LpSolution& solution);
+
+}  // namespace eca::solve

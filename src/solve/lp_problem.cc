@@ -1,0 +1,82 @@
+#include "solve/lp_problem.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace eca::solve {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kPrimalInfeasible:
+      return "primal-infeasible";
+    case SolveStatus::kDualInfeasible:
+      return "dual-infeasible";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+    case SolveStatus::kNumericalError:
+      return "numerical-error";
+  }
+  return "unknown";
+}
+
+std::string LpProblem::validate() const {
+  std::ostringstream err;
+  if (objective.size() != num_vars || var_lower.size() != num_vars ||
+      var_upper.size() != num_vars) {
+    err << "variable array sizes inconsistent with num_vars=" << num_vars;
+    return err.str();
+  }
+  if (row_lower.size() != num_rows || row_upper.size() != num_rows) {
+    err << "row array sizes inconsistent with num_rows=" << num_rows;
+    return err.str();
+  }
+  for (std::size_t j = 0; j < num_vars; ++j) {
+    if (var_lower[j] > var_upper[j]) {
+      err << "variable " << j << " has crossed bounds";
+      return err.str();
+    }
+  }
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    if (row_lower[r] > row_upper[r]) {
+      err << "row " << r << " has crossed bounds";
+      return err.str();
+    }
+  }
+  for (const auto& t : elements) {
+    if (t.row >= num_rows || t.col >= num_vars) {
+      err << "element (" << t.row << ',' << t.col << ") out of range";
+      return err.str();
+    }
+    if (!std::isfinite(t.value)) {
+      err << "element (" << t.row << ',' << t.col << ") is not finite";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+double max_constraint_violation(const LpProblem& lp, const Vec& x) {
+  ECA_CHECK(x.size() == lp.num_vars);
+  Vec row_value(lp.num_rows, 0.0);
+  for (const auto& t : lp.elements) row_value[t.row] += t.value * x[t.col];
+  double violation = 0.0;
+  for (std::size_t r = 0; r < lp.num_rows; ++r) {
+    if (lp.row_lower[r] != -kInf) {
+      violation = std::max(violation, lp.row_lower[r] - row_value[r]);
+    }
+    if (lp.row_upper[r] != kInf) {
+      violation = std::max(violation, row_value[r] - lp.row_upper[r]);
+    }
+  }
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    violation = std::max(violation, lp.var_lower[j] - x[j]);
+    if (lp.var_upper[j] != kInf) {
+      violation = std::max(violation, x[j] - lp.var_upper[j]);
+    }
+  }
+  return violation;
+}
+
+}  // namespace eca::solve

@@ -1,0 +1,341 @@
+#include "solve/pdhg_lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace eca::solve {
+namespace {
+
+using linalg::SparseMatrix;
+using linalg::Triplet;
+
+// Internal form: min c'x  s.t.  K x {>=,=} q,  lb <= x <= ub.
+struct Internal {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  Vec c, q, lb, ub;
+  std::vector<Triplet> elements;
+  std::vector<bool> is_equality;
+  // internal row -> (original row, +1 / -1 multiplier on the dual)
+  std::vector<std::pair<std::size_t, double>> row_origin;
+};
+
+Internal build_internal(const LpProblem& lp) {
+  Internal in;
+  in.n = lp.num_vars;
+  in.c = lp.objective;
+  in.lb = lp.var_lower;
+  in.ub = lp.var_upper;
+
+  // Group original elements by row for fast duplication.
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows(lp.num_rows);
+  for (const auto& t : lp.elements) rows[t.row].push_back({t.col, t.value});
+
+  auto add_row = [&](std::size_t orig, double mult, double rhs, bool eq) {
+    const std::size_t r = in.m++;
+    in.q.push_back(rhs);
+    in.is_equality.push_back(eq);
+    in.row_origin.push_back({orig, mult});
+    for (const auto& [col, val] : rows[orig]) {
+      in.elements.push_back({r, col, mult * val});
+    }
+  };
+
+  for (std::size_t r = 0; r < lp.num_rows; ++r) {
+    const double lo = lp.row_lower[r];
+    const double hi = lp.row_upper[r];
+    if (lo == -kInf && hi == kInf) continue;
+    if (lo == hi) {
+      add_row(r, 1.0, lo, /*eq=*/true);
+    } else {
+      if (lo != -kInf) add_row(r, 1.0, lo, /*eq=*/false);
+      if (hi != kInf) add_row(r, -1.0, -hi, /*eq=*/false);
+    }
+  }
+  return in;
+}
+
+struct KktScore {
+  double primal = 0.0;
+  double dual = 0.0;
+  double gap = 0.0;
+  double primal_obj = 0.0;
+  [[nodiscard]] double worst() const { return std::max({primal, dual, gap}); }
+};
+
+}  // namespace
+
+LpSolution PdhgLp::solve(const LpProblem& lp) const {
+  LpSolution sol;
+  const std::string problem_error = lp.validate();
+  ECA_CHECK(problem_error.empty(), problem_error);
+
+  Internal in = build_internal(lp);
+  const std::size_t n = in.n;
+  const std::size_t m = in.m;
+
+  // Objective normalization: the argmin is invariant under positive scaling
+  // of c, but PDHG's primal/dual balance is not — a weighted objective (the
+  // mu sweep scales dynamic costs by up to 1e3) would otherwise rail the
+  // primal weight. Duals are scaled back on exit.
+  const double cost_scale = std::max(1.0, linalg::norm_inf(in.c));
+  for (auto& v : in.c) v /= cost_scale;
+
+  if (m == 0 || n == 0) {
+    // Bound-only problem: pick the cheaper bound per variable.
+    sol.x.assign(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in.c[j] >= 0.0) {
+        if (in.lb[j] == -kInf) {
+          sol.status = in.c[j] == 0.0 ? SolveStatus::kOptimal
+                                      : SolveStatus::kDualInfeasible;
+          if (sol.status != SolveStatus::kOptimal) return sol;
+          sol.x[j] = 0.0;
+        } else {
+          sol.x[j] = in.lb[j];
+        }
+      } else if (in.ub[j] < kInf) {
+        sol.x[j] = in.ub[j];
+      } else {
+        sol.status = SolveStatus::kDualInfeasible;
+        return sol;
+      }
+    }
+    sol.row_duals.assign(lp.num_rows, 0.0);
+    sol.objective_value = linalg::dot(in.c, sol.x);
+    sol.status = SolveStatus::kOptimal;
+    return sol;
+  }
+
+  // --- Diagonal (Ruiz) rescaling ------------------------------------------
+  Vec row_scale(m, 1.0), col_scale(n, 1.0);
+  SparseMatrix k(m, n, in.elements);
+  for (int it = 0; it < options_.ruiz_iterations; ++it) {
+    Vec rn = k.row_inf_norms();
+    Vec cn = k.col_inf_norms();
+    Vec dr(m), dc(n);
+    for (std::size_t r = 0; r < m; ++r) {
+      dr[r] = rn[r] > 0.0 ? 1.0 / std::sqrt(rn[r]) : 1.0;
+      row_scale[r] *= dr[r];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      dc[j] = cn[j] > 0.0 ? 1.0 / std::sqrt(cn[j]) : 1.0;
+      col_scale[j] *= dc[j];
+    }
+    k.scale(dr, dc);
+  }
+  {
+    // Pock-Chambolle (α = 1) pass: rows and columns of the offline LPs have
+    // very heterogeneous degrees (3-nonzero migration rows next to
+    // (2J+1)-nonzero reconfiguration rows); dividing by the L1 norms makes
+    // the scalar step size effective for every coordinate and guarantees
+    // ||K|| <= 1 for the scaled matrix.
+    Vec rs = k.row_power_sums(1.0);
+    Vec cs = k.col_power_sums(1.0);
+    Vec dr(m), dc(n);
+    for (std::size_t r = 0; r < m; ++r) {
+      dr[r] = rs[r] > 0.0 ? 1.0 / std::sqrt(rs[r]) : 1.0;
+      row_scale[r] *= dr[r];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      dc[j] = cs[j] > 0.0 ? 1.0 / std::sqrt(cs[j]) : 1.0;
+      col_scale[j] *= dc[j];
+    }
+    k.scale(dr, dc);
+  }
+  // Scaled data: variables x = D_c x̂, duals y = D_r ŷ.
+  Vec c_s(n), q_s(m), lb_s(n), ub_s(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    c_s[j] = in.c[j] * col_scale[j];
+    lb_s[j] = in.lb[j] == -kInf ? -kInf : in.lb[j] / col_scale[j];
+    ub_s[j] = in.ub[j] == kInf ? kInf : in.ub[j] / col_scale[j];
+  }
+  for (std::size_t r = 0; r < m; ++r) q_s[r] = in.q[r] * row_scale[r];
+
+  const double k_norm = std::max(k.spectral_norm_estimate(), 1e-12);
+  const double eta = 0.998 / k_norm;
+  double omega = 1.0;
+  {
+    const double cn = linalg::norm2(c_s);
+    const double qn = linalg::norm2(q_s);
+    if (cn > 1e-12 && qn > 1e-12) omega = std::clamp(cn / qn, 1e-2, 1e2);
+  }
+
+  Vec x(n, 0.0), y(m, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (lb_s[j] > 0.0 || (ub_s[j] < kInf && ub_s[j] < 0.0)) {
+      x[j] = std::clamp(0.0, lb_s[j], ub_s[j]);
+    }
+  }
+  Vec x_sum(n, 0.0), y_sum(m, 0.0);
+  std::size_t avg_count = 0;
+
+  Vec kx(m), kty(n), x_next(n), extrap(n);
+  Vec x_unscaled(n), y_unscaled(m), row_value(m), reduced(n);
+
+  // KKT residuals in the ORIGINAL (unscaled) space.
+  auto evaluate = [&](const Vec& xs, const Vec& ys) {
+    for (std::size_t j = 0; j < n; ++j) x_unscaled[j] = xs[j] * col_scale[j];
+    for (std::size_t r = 0; r < m; ++r) y_unscaled[r] = ys[r] * row_scale[r];
+    // Row values with the ORIGINAL matrix = D_r^{-1} K̂ D_c^{-1} x.
+    k.multiply(xs, row_value);  // = D_r (K x)
+    KktScore score;
+    double q_norm = 1.0;
+    for (std::size_t r = 0; r < m; ++r) q_norm = std::max(q_norm, std::abs(in.q[r]));
+    for (std::size_t r = 0; r < m; ++r) {
+      const double value = row_value[r] / row_scale[r];
+      const double gap = in.q[r] - value;
+      const double viol = in.is_equality[r] ? std::abs(gap) : std::max(0.0, gap);
+      score.primal = std::max(score.primal, viol / q_norm);
+    }
+    // Reduced costs: c - K'y (original space): K'y = D_c^{-1} K̂' D_r^{-1} y
+    // = D_c^{-1} K̂' ŷ.
+    k.multiply_transpose(ys, kty);
+    double c_norm = 1.0;
+    for (std::size_t j = 0; j < n; ++j) c_norm = std::max(c_norm, std::abs(in.c[j]));
+    double dual_obj = 0.0;
+    for (std::size_t r = 0; r < m; ++r) dual_obj += in.q[r] * y_unscaled[r];
+    for (std::size_t j = 0; j < n; ++j) {
+      reduced[j] = in.c[j] - kty[j] / col_scale[j];
+      double rc = reduced[j];
+      if (rc > 0.0) {
+        if (in.lb[j] == -kInf) {
+          score.dual = std::max(score.dual, rc / c_norm);
+        } else {
+          dual_obj += in.lb[j] * rc;
+        }
+      } else if (rc < 0.0) {
+        if (in.ub[j] == kInf) {
+          score.dual = std::max(score.dual, -rc / c_norm);
+        } else {
+          dual_obj += in.ub[j] * rc;
+        }
+      }
+    }
+    score.primal_obj = linalg::dot(in.c, x_unscaled);
+    score.gap = std::abs(score.primal_obj - dual_obj) /
+                (1.0 + std::abs(score.primal_obj) + std::abs(dual_obj));
+    return score;
+  };
+
+  auto finish = [&](const Vec& xs, const Vec& ys, const KktScore& score,
+                    int iters, SolveStatus status) {
+    sol.status = status;
+    sol.iterations = iters;
+    sol.primal_residual = score.primal;
+    sol.dual_residual = score.dual;
+    sol.gap = score.gap;
+    sol.x.assign(lp.num_vars, 0.0);
+    for (std::size_t j = 0; j < n; ++j) sol.x[j] = xs[j] * col_scale[j];
+    sol.row_duals.assign(lp.num_rows, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto& [orig, mult] = in.row_origin[r];
+      sol.row_duals[orig] += mult * ys[r] * row_scale[r] * cost_scale;
+    }
+    sol.objective_value = linalg::dot(lp.objective, sol.x);
+  };
+
+  double restart_score = kInf;
+  double previous_candidate_score = kInf;
+  std::size_t since_restart = 0;
+  KktScore best_score;
+  Vec best_x = x, best_y = y;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // x step: x' = proj(x - tau (c - K'y))
+    const double tau = eta / omega;
+    const double sigma = eta * omega;
+    k.multiply_transpose(y, kty);
+    for (std::size_t j = 0; j < n; ++j) {
+      double value = x[j] - tau * (c_s[j] - kty[j]);
+      if (lb_s[j] != -kInf) value = std::max(value, lb_s[j]);
+      if (ub_s[j] != kInf) value = std::min(value, ub_s[j]);
+      x_next[j] = value;
+    }
+    // y step with extrapolated primal.
+    for (std::size_t j = 0; j < n; ++j) extrap[j] = 2.0 * x_next[j] - x[j];
+    k.multiply(extrap, kx);
+    for (std::size_t r = 0; r < m; ++r) {
+      double value = y[r] + sigma * (q_s[r] - kx[r]);
+      if (!in.is_equality[r]) value = std::max(value, 0.0);
+      y[r] = value;
+    }
+    x.swap(x_next);
+    linalg::axpy(1.0, x, x_sum);
+    linalg::axpy(1.0, y, y_sum);
+    ++avg_count;
+    ++since_restart;
+
+    if ((iter + 1) % options_.check_every != 0) continue;
+
+    const KktScore cur = evaluate(x, y);
+    Vec x_avg(n), y_avg(m);
+    const double inv = 1.0 / static_cast<double>(avg_count);
+    for (std::size_t j = 0; j < n; ++j) x_avg[j] = x_sum[j] * inv;
+    for (std::size_t r = 0; r < m; ++r) y_avg[r] = y_sum[r] * inv;
+    const KktScore avg = evaluate(x_avg, y_avg);
+
+    const bool avg_better = avg.worst() < cur.worst();
+    const KktScore& cand_score = avg_better ? avg : cur;
+    const Vec& cand_x = avg_better ? x_avg : x;
+    const Vec& cand_y = avg_better ? y_avg : y;
+
+    if (options_.verbose) {
+      std::fprintf(stderr,
+                   "pdhg iter %7d: primal=%.3e dual=%.3e gap=%.3e omega=%.2e\n",
+                   iter + 1, cand_score.primal, cand_score.dual,
+                   cand_score.gap, omega);
+    }
+
+    const double gate = options_.gate_on_dual_residual
+                            ? cand_score.worst()
+                            : std::max(cand_score.primal, cand_score.gap);
+    if (gate < options_.tolerance) {
+      finish(cand_x, cand_y, cand_score, iter + 1, SolveStatus::kOptimal);
+      return sol;
+    }
+    best_score = cand_score;
+    best_x = cand_x;
+    best_y = cand_y;
+
+    // Adaptive restart (PDLP-style): restart on sufficient decay of the KKT
+    // score, or on necessary decay followed by a loss of progress.
+    const double worst = cand_score.worst();
+    const bool sufficient_decay = worst < 0.2 * restart_score;
+    const bool necessary_decay =
+        worst < 0.8 * restart_score && worst > previous_candidate_score;
+    // Plateau guard: if neither criterion fires for a long stretch the
+    // average drifts; restarting from the best candidate re-anchors it.
+    const bool stagnation = since_restart >= 4096;
+    previous_candidate_score = worst;
+    if ((sufficient_decay || necessary_decay || stagnation) &&
+        since_restart >= 64) {
+      x = cand_x;
+      y = cand_y;
+      x_sum.assign(n, 0.0);
+      y_sum.assign(m, 0.0);
+      avg_count = 0;
+      since_restart = 0;
+      restart_score = worst;
+      previous_candidate_score = kInf;
+      // Primal-weight update: push effort toward the lagging residual. Box
+      // LPs have a structurally zero dual residual, in which case the ratio
+      // carries no signal and the weight is left alone. The update is
+      // deliberately damped and clamped to a narrow band: railing the
+      // weight starves one side of the iteration and stalls convergence.
+      if (cand_score.dual > 1e-12 && cand_score.primal > 1e-12) {
+        omega = std::clamp(
+            omega * std::pow(cand_score.dual / cand_score.primal, 0.2), 3e-2,
+            3e1);
+      }
+    }
+  }
+  finish(best_x, best_y, best_score, options_.max_iterations,
+         SolveStatus::kIterationLimit);
+  return sol;
+}
+
+}  // namespace eca::solve

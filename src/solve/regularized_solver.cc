@@ -1,0 +1,646 @@
+#include "solve/regularized_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "linalg/dense_matrix.h"
+
+namespace eca::solve {
+
+Vec RegularizedProblem::prev_aggregate() const {
+  Vec agg(num_clouds, 0.0);
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    for (std::size_t j = 0; j < num_users; ++j) agg[i] += prev[index(i, j)];
+  }
+  return agg;
+}
+
+double RegularizedProblem::eta(std::size_t i) const {
+  if (capacity[i] <= 0.0) return 0.0;
+  return std::log1p(capacity[i] / eps1);
+}
+
+double RegularizedProblem::tau(std::size_t j) const {
+  return std::log1p(demand[j] / eps2);
+}
+
+double RegularizedProblem::total_demand() const {
+  return linalg::sum(demand);
+}
+
+double RegularizedProblem::objective(const Vec& x) const {
+  ECA_CHECK(x.size() == num_clouds * num_users);
+  const Vec prev_agg = prev_aggregate();
+  double value = linalg::dot(linear_cost, x);
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    double agg = 0.0;
+    for (std::size_t j = 0; j < num_users; ++j) agg += x[index(i, j)];
+    const double eta_i = eta(i);
+    if (recon_price[i] > 0.0 && eta_i > 0.0) {
+      const double num = agg + eps1;
+      const double den = prev_agg[i] + eps1;
+      value += recon_price[i] / eta_i * (num * std::log(num / den) - agg);
+    }
+    if (migration_price[i] > 0.0) {
+      for (std::size_t j = 0; j < num_users; ++j) {
+        const std::size_t ij = index(i, j);
+        const double num = x[ij] + eps2;
+        const double den = prev[ij] + eps2;
+        value += migration_price[i] / tau(j) *
+                 (num * std::log(num / den) - x[ij]);
+      }
+    }
+  }
+  return value;
+}
+
+Vec RegularizedProblem::gradient(const Vec& x) const {
+  ECA_CHECK(x.size() == num_clouds * num_users);
+  const Vec prev_agg = prev_aggregate();
+  Vec grad = linear_cost;
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    double agg = 0.0;
+    for (std::size_t j = 0; j < num_users; ++j) agg += x[index(i, j)];
+    const double eta_i = eta(i);
+    const double recon_term =
+        (recon_price[i] > 0.0 && eta_i > 0.0)
+            ? recon_price[i] / eta_i *
+                  std::log((agg + eps1) / (prev_agg[i] + eps1))
+            : 0.0;
+    for (std::size_t j = 0; j < num_users; ++j) {
+      const std::size_t ij = index(i, j);
+      double g = recon_term;
+      if (migration_price[i] > 0.0) {
+        g += migration_price[i] / tau(j) *
+             std::log((x[ij] + eps2) / (prev[ij] + eps2));
+      }
+      grad[ij] += g;
+    }
+  }
+  return grad;
+}
+
+std::string RegularizedProblem::validate() const {
+  std::ostringstream err;
+  const std::size_t n = num_clouds * num_users;
+  if (num_clouds == 0 || num_users == 0) {
+    err << "empty problem";
+    return err.str();
+  }
+  if (linear_cost.size() != n || prev.size() != n ||
+      recon_price.size() != num_clouds ||
+      migration_price.size() != num_clouds || capacity.size() != num_clouds ||
+      demand.size() != num_users) {
+    err << "array sizes inconsistent with I=" << num_clouds
+        << " J=" << num_users;
+    return err.str();
+  }
+  if (eps1 <= 0.0 || eps2 <= 0.0) {
+    err << "eps1/eps2 must be positive";
+    return err.str();
+  }
+  for (std::size_t j = 0; j < num_users; ++j) {
+    if (demand[j] <= 0.0) {
+      err << "demand of user " << j << " must be positive";
+      return err.str();
+    }
+  }
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    if (recon_price[i] < 0.0 || migration_price[i] < 0.0 ||
+        capacity[i] < 0.0) {
+      err << "prices/capacities must be non-negative (cloud " << i << ")";
+      return err.str();
+    }
+  }
+  for (double v : prev) {
+    if (v < 0.0) {
+      err << "previous allocation must be non-negative";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::Lu;
+
+// Strictly feasible starting point. Without capacity enforcement P2 is
+// always strictly feasible for I >= 2 (scale allocations up); with it we
+// spread demand proportionally to capacity and inflate by a factor strictly
+// between 1 and ΣC/Λ.
+Vec feasible_start(const RegularizedProblem& p) {
+  const std::size_t kI = p.num_clouds;
+  const std::size_t kJ = p.num_users;
+  const double total_cap = linalg::sum(p.capacity);
+  Vec weight(kI);
+  double wsum = 0.0;
+  if (p.enforce_capacity) {
+    for (std::size_t i = 0; i < kI; ++i) {
+      weight[i] = p.capacity[i];
+      wsum += weight[i];
+    }
+  } else {
+    const double bump = std::max(total_cap, 1.0) * 1e-3;
+    for (std::size_t i = 0; i < kI; ++i) {
+      weight[i] = p.capacity[i] + bump;
+      wsum += weight[i];
+    }
+  }
+  double inflate = 1.25;
+  if (p.enforce_capacity) {
+    const double headroom = total_cap / std::max(p.total_demand(), 1e-12);
+    inflate = 0.5 * (1.0 + std::min(1.25, headroom));
+  }
+  Vec x(kI * kJ, 0.0);
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      x[p.index(i, j)] = inflate * p.demand[j] * weight[i] / wsum;
+    }
+  }
+  return x;
+}
+
+Vec uniform_start(const RegularizedProblem& p, double scale) {
+  const double kI = static_cast<double>(p.num_clouds);
+  Vec x(p.num_clouds * p.num_users, 0.0);
+  for (std::size_t i = 0; i < p.num_clouds; ++i) {
+    for (std::size_t j = 0; j < p.num_users; ++j) {
+      x[p.index(i, j)] = scale * p.demand[j] / kI;
+    }
+  }
+  return x;
+}
+
+// Linear-constraint slacks at x: demand s_j, complement p_i, capacity q_i.
+struct Slacks {
+  Vec agg;     // X_i
+  Vec demand;  // s_j = Σ_i x_ij − λ_j
+  Vec comp;    // p_i = Σ_{k≠i} X_k − (Λ − C_i)
+  Vec cap;     // q_i = C_i − X_i
+};
+
+void compute_slacks(const RegularizedProblem& p, const Vec& x, bool has_comp,
+                    bool has_cap, Slacks& out) {
+  const std::size_t kI = p.num_clouds;
+  const std::size_t kJ = p.num_users;
+  out.agg.assign(kI, 0.0);
+  out.demand.assign(kJ, 0.0);
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const double v = x[p.index(i, j)];
+      out.agg[i] += v;
+      out.demand[j] += v;
+    }
+  }
+  for (std::size_t j = 0; j < kJ; ++j) out.demand[j] -= p.demand[j];
+  if (has_comp) {
+    const double total = linalg::sum(out.agg);
+    const double lambda_total = p.total_demand();
+    out.comp.assign(kI, 0.0);
+    for (std::size_t i = 0; i < kI; ++i) {
+      out.comp[i] = total - out.agg[i] - lambda_total + p.capacity[i];
+    }
+  }
+  if (has_cap) {
+    out.cap.assign(kI, 0.0);
+    for (std::size_t i = 0; i < kI; ++i) {
+      out.cap[i] = p.capacity[i] - out.agg[i];
+    }
+  }
+}
+
+bool strictly_interior(const Vec& x, const Slacks& s, bool has_comp,
+                       bool has_cap) {
+  for (double v : x) {
+    if (v <= 0.0) return false;
+  }
+  for (double v : s.demand) {
+    if (v <= 0.0) return false;
+  }
+  if (has_comp) {
+    for (double v : s.comp) {
+      if (v <= 0.0) return false;
+    }
+  }
+  if (has_cap) {
+    for (double v : s.cap) {
+      if (v <= 0.0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// Primal-dual interior-point method. Perturbed KKT system:
+//   ∇f(x) − δ − Σ_j θ_j a_j − Σ_i ρ_i (e − u_i) + Σ_i κ_i u_i = 0
+//   x_ij δ_ij = μ,  s_j θ_j = μ,  p_i ρ_i = μ,  q_i κ_i = μ
+// Eliminating the dual steps yields a Newton matrix
+//   H_f + diag(δ/x) + Σ_j (θ_j/s_j) a_j a_j'
+//       + Σ_i (ρ_i/p_i)(e−u_i)(e−u_i)' + Σ_i (κ_i/q_i) u_i u_i'
+// which is diagonal + rank-(I+J+1) in the basis [u_1..u_I, a_1..a_J, e],
+// solved with a Woodbury-style reduction to an (I+J+1)² dense system.
+RegularizedSolution RegularizedSolver::solve(
+    const RegularizedProblem& p) const {
+  RegularizedSolution sol;
+  const std::string problem_error = p.validate();
+  ECA_CHECK(problem_error.empty(), problem_error);
+
+  const std::size_t kI = p.num_clouds;
+  const std::size_t kJ = p.num_users;
+  const std::size_t n = kI * kJ;
+  const double lambda_total = p.total_demand();
+  const bool has_comp = kI >= 2;
+  const bool has_cap = p.enforce_capacity;
+
+  if (kI == 1 && lambda_total - p.capacity[0] > 1e-9) {
+    // Constraint (10b) degenerates to the constant condition 0 >= Λ - C_1.
+    sol.status = SolveStatus::kPrimalInfeasible;
+    return sol;
+  }
+  if (has_cap && linalg::sum(p.capacity) <= lambda_total * (1.0 + 1e-12)) {
+    sol.status = SolveStatus::kPrimalInfeasible;
+    return sol;
+  }
+
+  // --- Strictly feasible primal start -------------------------------------
+  Vec x = feasible_start(p);
+  Slacks slacks;
+  compute_slacks(p, x, has_comp, has_cap, slacks);
+  if (!strictly_interior(x, slacks, has_comp, has_cap)) {
+    const double scale =
+        kI >= 2 ? std::max(2.0, 2.0 * static_cast<double>(kI) /
+                                    static_cast<double>(kI - 1))
+                : 1.1;
+    x = uniform_start(p, scale);
+    compute_slacks(p, x, has_comp, has_cap, slacks);
+    if (!strictly_interior(x, slacks, has_comp, has_cap)) {
+      sol.status = SolveStatus::kNumericalError;
+      return sol;
+    }
+  }
+
+  const double cost_scale = 1.0 + linalg::norm_inf(p.linear_cost);
+
+  // --- Dual start ----------------------------------------------------------
+  double mu = options_.initial_mu * cost_scale;
+  Vec delta(n), theta(kJ), rho(kI, 0.0), kappa(kI, 0.0);
+  for (std::size_t idx = 0; idx < n; ++idx) delta[idx] = mu / x[idx];
+  for (std::size_t j = 0; j < kJ; ++j) theta[j] = mu / slacks.demand[j];
+  if (has_comp) {
+    for (std::size_t i = 0; i < kI; ++i) rho[i] = mu / slacks.comp[i];
+  }
+  if (has_cap) {
+    for (std::size_t i = 0; i < kI; ++i) kappa[i] = mu / slacks.cap[i];
+  }
+
+  const std::size_t k = kI + kJ + 1;  // reduction basis: u_i, a_j, e
+  const std::size_t total_constraints = n + kJ + (has_comp ? kI : 0) +
+                                        (has_cap ? kI : 0);
+  Vec tau_cache(kJ);
+  for (std::size_t j = 0; j < kJ; ++j) tau_cache[j] = p.tau(j);
+  const Vec prev_agg = p.prev_aggregate();
+
+  Vec grad_f(n), r_dual(n), rhs(n), dx(n);
+  Vec diag(n), inv_diag(n);
+  DenseMatrix middle(k, k), g_mat(k, k), cap_system(k, k);
+  Vec ddelta(n), dtheta(kJ), drho(kI), dkappa(kI);
+
+  // Best-iterate tracking: the pure-LP corner of the problem (no
+  // regularizers => no objective curvature) can lose accuracy at very small
+  // mu; we keep the best KKT point seen and fall back to it.
+  double best_score = kInf;
+  Vec best_x = x, best_delta = delta, best_theta = theta, best_rho = rho,
+      best_kappa = kappa;
+
+  const int max_iterations = 200;
+  int iter = 0;
+  bool converged = false;
+  for (; iter < max_iterations; ++iter) {
+    // Residuals.
+    grad_f = p.gradient(x);
+    const double rho_total = has_comp ? linalg::sum(rho) : 0.0;
+    double dual_resid_norm = 0.0;
+    for (std::size_t i = 0; i < kI; ++i) {
+      const double rho_except = has_comp ? rho_total - rho[i] : 0.0;
+      const double kap = has_cap ? kappa[i] : 0.0;
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t ij = p.index(i, j);
+        r_dual[ij] = grad_f[ij] - delta[ij] - theta[j] - rho_except + kap;
+        dual_resid_norm = std::max(dual_resid_norm, std::abs(r_dual[ij]));
+      }
+    }
+    // Average complementarity.
+    double comp_sum = 0.0;
+    for (std::size_t idx = 0; idx < n; ++idx) comp_sum += x[idx] * delta[idx];
+    for (std::size_t j = 0; j < kJ; ++j) comp_sum += slacks.demand[j] * theta[j];
+    if (has_comp) {
+      for (std::size_t i = 0; i < kI; ++i) comp_sum += slacks.comp[i] * rho[i];
+    }
+    if (has_cap) {
+      for (std::size_t i = 0; i < kI; ++i) comp_sum += slacks.cap[i] * kappa[i];
+    }
+    const double comp_avg = comp_sum / static_cast<double>(total_constraints);
+
+    if (options_.verbose) {
+      std::fprintf(stderr, "pd iter %3d: mu=%.3e comp=%.3e rdual=%.3e\n", iter,
+                   mu, comp_avg, dual_resid_norm / cost_scale);
+    }
+    const double score = std::max(comp_avg / cost_scale,
+                                  dual_resid_norm / cost_scale);
+    if (score < best_score) {
+      best_score = score;
+      best_x = x;
+      best_delta = delta;
+      best_theta = theta;
+      best_rho = rho;
+      best_kappa = kappa;
+    }
+    if (comp_avg <= options_.final_mu * cost_scale &&
+        dual_resid_norm <= 1e-7 * cost_scale) {
+      converged = true;
+      break;
+    }
+    // Divergence guard: once numerical accuracy is exhausted the dual
+    // residual starts growing; stop and return the best point.
+    if (score > 1e4 * best_score && best_score < 1e-5) break;
+
+    // Target barrier parameter: aggressive but safeguarded decrease.
+    mu = std::max(options_.mu_shrink * comp_avg,
+                  0.1 * options_.final_mu * cost_scale);
+
+    // Newton matrix: D + W M W'.
+    for (std::size_t i = 0; i < kI; ++i) {
+      const double mig = p.migration_price[i];
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t ij = p.index(i, j);
+        double d = delta[ij] / x[ij];
+        if (mig > 0.0) d += mig / tau_cache[j] / (x[ij] + p.eps2);
+        diag[ij] = d;
+        inv_diag[ij] = 1.0 / d;
+      }
+    }
+    middle = DenseMatrix(k, k);
+    double beta_sum = 0.0;
+    for (std::size_t i = 0; i < kI; ++i) {
+      const double eta_i = p.eta(i);
+      double h = 0.0;
+      if (p.recon_price[i] > 0.0 && eta_i > 0.0) {
+        h = p.recon_price[i] / eta_i / (slacks.agg[i] + p.eps1);
+      }
+      if (has_cap) h += kappa[i] / slacks.cap[i];
+      double beta = 0.0;
+      if (has_comp) {
+        beta = rho[i] / slacks.comp[i];
+        beta_sum += beta;
+      }
+      middle(i, i) = h + beta;
+      middle(i, kI + kJ) = -beta;
+      middle(kI + kJ, i) = -beta;
+    }
+    for (std::size_t j = 0; j < kJ; ++j) {
+      middle(kI + j, kI + j) = theta[j] / slacks.demand[j];
+    }
+    middle(kI + kJ, kI + kJ) = beta_sum;
+
+    // G = W' D^{-1} W using the indicator structure.
+    Vec row_sum(kI, 0.0), col_sum(kJ, 0.0);
+    double total_sum = 0.0;
+    for (std::size_t i = 0; i < kI; ++i) {
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const double v = inv_diag[p.index(i, j)];
+        row_sum[i] += v;
+        col_sum[j] += v;
+        total_sum += v;
+      }
+    }
+    g_mat = DenseMatrix(k, k);
+    for (std::size_t i = 0; i < kI; ++i) {
+      g_mat(i, i) = row_sum[i];
+      g_mat(i, kI + kJ) = row_sum[i];
+      g_mat(kI + kJ, i) = row_sum[i];
+      for (std::size_t j = 0; j < kJ; ++j) {
+        g_mat(i, kI + j) = inv_diag[p.index(i, j)];
+        g_mat(kI + j, i) = g_mat(i, kI + j);
+      }
+    }
+    for (std::size_t j = 0; j < kJ; ++j) {
+      g_mat(kI + j, kI + j) = col_sum[j];
+      g_mat(kI + j, kI + kJ) = col_sum[j];
+      g_mat(kI + kJ, kI + j) = col_sum[j];
+    }
+    g_mat(kI + kJ, kI + kJ) = total_sum;
+
+    cap_system = g_mat.multiply(middle);
+    for (std::size_t r = 0; r < k; ++r) cap_system(r, r) += 1.0;
+    Lu lu;
+    if (!lu.factor(cap_system)) break;  // fall back to the best iterate
+
+    auto apply_inverse = [&](const Vec& r_in, Vec& out) {
+      Vec wtr(k, 0.0);
+      for (std::size_t i = 0; i < kI; ++i) {
+        for (std::size_t j = 0; j < kJ; ++j) {
+          const std::size_t ij = p.index(i, j);
+          const double v = inv_diag[ij] * r_in[ij];
+          wtr[i] += v;
+          wtr[kI + j] += v;
+          wtr[k - 1] += v;
+        }
+      }
+      const Vec w = lu.solve(wtr);
+      Vec mw(k, 0.0);
+      for (std::size_t r = 0; r < k; ++r) {
+        double acc = 0.0;
+        for (std::size_t c2 = 0; c2 < k; ++c2) acc += middle(r, c2) * w[c2];
+        mw[r] = acc;
+      }
+      for (std::size_t i = 0; i < kI; ++i) {
+        for (std::size_t j = 0; j < kJ; ++j) {
+          const std::size_t ij = p.index(i, j);
+          const double wmw = mw[i] + mw[kI + j] + mw[k - 1];
+          out[ij] = inv_diag[ij] * (r_in[ij] - wmw);
+        }
+      }
+    };
+
+    // RHS: −r_dual + (μ/x − δ) + Σ_j a_j (μ/s_j − θ_j)
+    //      + Σ_i (e−u_i)(μ/p_i − ρ_i) − Σ_i u_i (μ/q_i − κ_i).
+    double comp_corr_total = 0.0;  // Σ_i (μ/p_i − ρ_i)
+    Vec comp_corr(kI, 0.0);
+    if (has_comp) {
+      for (std::size_t i = 0; i < kI; ++i) {
+        comp_corr[i] = mu / slacks.comp[i] - rho[i];
+        comp_corr_total += comp_corr[i];
+      }
+    }
+    for (std::size_t i = 0; i < kI; ++i) {
+      const double cap_corr =
+          has_cap ? mu / slacks.cap[i] - kappa[i] : 0.0;
+      const double comp_term = has_comp ? comp_corr_total - comp_corr[i] : 0.0;
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t ij = p.index(i, j);
+        rhs[ij] = -r_dual[ij] + (mu / x[ij] - delta[ij]) +
+                  (mu / slacks.demand[j] - theta[j]) + comp_term - cap_corr;
+      }
+    }
+    // out = (D + W M W') d  (exact, for iterative refinement).
+    auto apply_matrix = [&](const Vec& d_in, Vec& out) {
+      Vec wtd(k, 0.0);
+      for (std::size_t i = 0; i < kI; ++i) {
+        for (std::size_t j = 0; j < kJ; ++j) {
+          const std::size_t ij = p.index(i, j);
+          wtd[i] += d_in[ij];
+          wtd[kI + j] += d_in[ij];
+          wtd[k - 1] += d_in[ij];
+        }
+      }
+      Vec mw(k, 0.0);
+      for (std::size_t r = 0; r < k; ++r) {
+        double acc = 0.0;
+        for (std::size_t c2 = 0; c2 < k; ++c2) acc += middle(r, c2) * wtd[c2];
+        mw[r] = acc;
+      }
+      for (std::size_t i = 0; i < kI; ++i) {
+        for (std::size_t j = 0; j < kJ; ++j) {
+          const std::size_t ij = p.index(i, j);
+          out[ij] = diag[ij] * d_in[ij] + mw[i] + mw[kI + j] + mw[k - 1];
+        }
+      }
+    };
+
+    apply_inverse(rhs, dx);
+    {
+      // Two rounds of iterative refinement keep the Newton direction
+      // accurate when the reduced system mixes O(z/s) and O(1) scales.
+      Vec residual(n), correction(n);
+      for (int refine = 0; refine < 2; ++refine) {
+        apply_matrix(dx, residual);
+        for (std::size_t idx = 0; idx < n; ++idx) {
+          residual[idx] = rhs[idx] - residual[idx];
+        }
+        apply_inverse(residual, correction);
+        for (std::size_t idx = 0; idx < n; ++idx) dx[idx] += correction[idx];
+      }
+    }
+
+    // Dual steps from the complementarity equations.
+    Vec dx_agg(kI, 0.0), dx_demand(kJ, 0.0);
+    for (std::size_t i = 0; i < kI; ++i) {
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const double d = dx[p.index(i, j)];
+        dx_agg[i] += d;
+        dx_demand[j] += d;
+      }
+    }
+    const double dx_total = linalg::sum(dx_agg);
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      ddelta[idx] = (mu - x[idx] * delta[idx] - delta[idx] * dx[idx]) / x[idx];
+    }
+    for (std::size_t j = 0; j < kJ; ++j) {
+      dtheta[j] = (mu - slacks.demand[j] * theta[j] - theta[j] * dx_demand[j]) /
+                  slacks.demand[j];
+    }
+    if (has_comp) {
+      for (std::size_t i = 0; i < kI; ++i) {
+        const double ds = dx_total - dx_agg[i];
+        drho[i] = (mu - slacks.comp[i] * rho[i] - rho[i] * ds) / slacks.comp[i];
+      }
+    }
+    if (has_cap) {
+      for (std::size_t i = 0; i < kI; ++i) {
+        const double dq = -dx_agg[i];
+        dkappa[i] =
+            (mu - slacks.cap[i] * kappa[i] - kappa[i] * dq) / slacks.cap[i];
+      }
+    }
+
+    // Fraction-to-boundary step lengths (primal and dual separately).
+    const double ftb = 0.995;
+    double alpha_p = 1.0;
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      if (dx[idx] < 0.0) alpha_p = std::min(alpha_p, -x[idx] / dx[idx]);
+    }
+    for (std::size_t j = 0; j < kJ; ++j) {
+      if (dx_demand[j] < 0.0) {
+        alpha_p = std::min(alpha_p, -slacks.demand[j] / dx_demand[j]);
+      }
+    }
+    if (has_comp) {
+      for (std::size_t i = 0; i < kI; ++i) {
+        const double ds = dx_total - dx_agg[i];
+        if (ds < 0.0) alpha_p = std::min(alpha_p, -slacks.comp[i] / ds);
+      }
+    }
+    if (has_cap) {
+      for (std::size_t i = 0; i < kI; ++i) {
+        if (dx_agg[i] > 0.0) {
+          alpha_p = std::min(alpha_p, slacks.cap[i] / dx_agg[i]);
+        }
+      }
+    }
+    double alpha_d = 1.0;
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      if (ddelta[idx] < 0.0) {
+        alpha_d = std::min(alpha_d, -delta[idx] / ddelta[idx]);
+      }
+    }
+    for (std::size_t j = 0; j < kJ; ++j) {
+      if (dtheta[j] < 0.0) alpha_d = std::min(alpha_d, -theta[j] / dtheta[j]);
+    }
+    if (has_comp) {
+      for (std::size_t i = 0; i < kI; ++i) {
+        if (drho[i] < 0.0) alpha_d = std::min(alpha_d, -rho[i] / drho[i]);
+      }
+    }
+    if (has_cap) {
+      for (std::size_t i = 0; i < kI; ++i) {
+        if (dkappa[i] < 0.0) {
+          alpha_d = std::min(alpha_d, -kappa[i] / dkappa[i]);
+        }
+      }
+    }
+    alpha_p = std::min(1.0, ftb * alpha_p);
+    alpha_d = std::min(1.0, ftb * alpha_d);
+
+    // The objective is nonlinear, so safeguard the primal step: require the
+    // new point to stay strictly interior (always true by construction) and
+    // damp jointly if the dual residual would blow up.
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      x[idx] += alpha_p * dx[idx];
+    }
+    for (std::size_t idx = 0; idx < n; ++idx) delta[idx] += alpha_d * ddelta[idx];
+    for (std::size_t j = 0; j < kJ; ++j) theta[j] += alpha_d * dtheta[j];
+    if (has_comp) {
+      for (std::size_t i = 0; i < kI; ++i) rho[i] += alpha_d * drho[i];
+    }
+    if (has_cap) {
+      for (std::size_t i = 0; i < kI; ++i) kappa[i] += alpha_d * dkappa[i];
+    }
+    compute_slacks(p, x, has_comp, has_cap, slacks);
+  }
+
+  sol.x = converged ? x : best_x;
+  sol.theta = converged ? theta : best_theta;
+  sol.rho = has_comp ? (converged ? rho : best_rho) : Vec(kI, 0.0);
+  sol.kappa = has_cap ? (converged ? kappa : best_kappa) : Vec(kI, 0.0);
+  sol.delta = converged ? delta : best_delta;
+  sol.objective_value = p.objective(sol.x);
+  sol.newton_iterations = iter;
+  // A best-iterate fallback with a small KKT score is still a usable
+  // optimum; only report failure when even the best point is poor.
+  if (converged) {
+    sol.status = SolveStatus::kOptimal;
+  } else if (best_score <= 1e-6) {
+    sol.status = SolveStatus::kOptimal;
+  } else {
+    sol.status = SolveStatus::kIterationLimit;
+  }
+  return sol;
+}
+
+}  // namespace eca::solve

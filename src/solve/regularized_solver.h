@@ -1,0 +1,102 @@
+// Solver for the paper's regularized per-slot subproblem P2 (Section III-B).
+//
+//   min  Σ_ij l_ij x_ij
+//        + Σ_i (c_i/η_i) [ (X_i+ε1) ln((X_i+ε1)/(Xp_i+ε1)) − X_i ]
+//        + Σ_ij (b_i/τ_ij) [ (x_ij+ε2) ln((x_ij+ε2)/(xp_ij+ε2)) − x_ij ]
+//   s.t. Σ_i x_ij ≥ λ_j                      ∀j   (10a)
+//        Σ_{k≠i} X_k ≥ Σ_j λ_j − C_i          ∀i   (10b)
+//        x_ij ≥ 0                             ∀i,j (10c)
+//
+// with X_i = Σ_j x_ij, η_i = ln(1+C_i/ε1), τ_ij = ln(1+λ_j/ε2).  `l_ij`
+// bundles all static per-unit costs (operation price + service-quality
+// delay coefficient, pre-multiplied by the caller's weights), and c_i / b_i
+// are the weighted reconfiguration / migration prices.
+//
+// Method: primal log-barrier path following with damped Newton steps. The
+// barrier Hessian is diagonal + a rank-(I+J+1) term spanned by the cloud
+// indicators u_i, the user indicators a_j and the all-ones vector e (the
+// complement-capacity rows are e − u_i), so each Newton solve reduces to an
+// (I+J+1)×(I+J+1) dense system — this is what lets the online algorithm run
+// in milliseconds per slot instead of requiring an external NLP solver.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector_ops.h"
+#include "solve/lp_problem.h"
+
+namespace eca::solve {
+
+// Index helper: x is stored row-major by cloud, x[i * num_users + j].
+struct RegularizedProblem {
+  std::size_t num_clouds = 0;  // I
+  std::size_t num_users = 0;   // J
+  Vec linear_cost;             // l_ij, size I*J
+  Vec recon_price;             // c_i (>= 0), size I
+  Vec migration_price;         // b_i (>= 0), size I
+  Vec demand;                  // λ_j (> 0), size J
+  Vec capacity;                // C_i (>= 0), size I
+  Vec prev;                    // x*_{i,j,t-1}, size I*J (>= 0)
+  double eps1 = 1.0;
+  double eps2 = 1.0;
+  // The paper's P2 relies on Theorem 1 for capacity feasibility, but the
+  // monotonicity argument only binds when demand holds with equality; with
+  // large dynamic prices the regularizer can hold on to stale allocations
+  // and push a cloud past its capacity. When true (default) we add the
+  // explicit rows Σ_j x_ij <= C_i, which preserves convexity and never cuts
+  // off the offline optimum. Set false for the paper-pure formulation
+  // (ablated in bench_ablation).
+  bool enforce_capacity = true;
+
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const {
+    return i * num_users + j;
+  }
+  // Aggregate previous allocation per cloud, Xp_i.
+  [[nodiscard]] Vec prev_aggregate() const;
+  // Objective value at x (exact, no barrier).
+  [[nodiscard]] double objective(const Vec& x) const;
+  // Gradient of the objective at x.
+  [[nodiscard]] Vec gradient(const Vec& x) const;
+  // η_i (0 when the regularizer is absent, i.e. c_i = 0 or C_i = 0).
+  [[nodiscard]] double eta(std::size_t i) const;
+  // τ_ij (only depends on j).
+  [[nodiscard]] double tau(std::size_t j) const;
+  [[nodiscard]] double total_demand() const;
+  // Validates shapes and value ranges; empty string when consistent.
+  [[nodiscard]] std::string validate() const;
+};
+
+struct RegularizedOptions {
+  // Target barrier parameter: average complementarity at termination. The
+  // duality gap at exit is roughly (IJ + I + J) * final_mu.
+  double final_mu = 1e-9;
+  double initial_mu = 1.0;
+  double mu_shrink = 0.2;
+  int max_newton_per_stage = 60;
+  double newton_tolerance = 1e-24;  // stagnation guard on the decrement λ²/2
+  bool verbose = false;
+};
+
+struct RegularizedSolution {
+  SolveStatus status = SolveStatus::kNumericalError;
+  Vec x;        // size I*J
+  Vec theta;    // demand duals θ_j ≥ 0, size J
+  Vec rho;      // complement duals ρ_i ≥ 0, size I
+  Vec delta;    // non-negativity duals δ_ij ≥ 0, size I*J
+  Vec kappa;    // capacity duals κ_i ≥ 0, size I (zero when not enforced)
+  double objective_value = 0.0;
+  int newton_iterations = 0;
+};
+
+class RegularizedSolver {
+ public:
+  explicit RegularizedSolver(RegularizedOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] RegularizedSolution solve(const RegularizedProblem& p) const;
+
+ private:
+  RegularizedOptions options_;
+};
+
+}  // namespace eca::solve

@@ -1,0 +1,58 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eca::workload {
+
+const char* to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kPower:
+      return "power";
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kNormal:
+      return "normal";
+  }
+  return "unknown";
+}
+
+Distribution distribution_from_string(const std::string& name) {
+  if (name == "uniform") return Distribution::kUniform;
+  if (name == "normal") return Distribution::kNormal;
+  return Distribution::kPower;
+}
+
+std::vector<double> generate_demands(Rng& rng, std::size_t num_users,
+                                     const WorkloadOptions& options) {
+  ECA_CHECK(options.mean >= 1.0, "mean demand must be at least 1");
+  ECA_CHECK(options.max_demand >= options.mean);
+  std::vector<double> demands(num_users, 1.0);
+  for (auto& d : demands) {
+    double value = 1.0;
+    switch (options.distribution) {
+      case Distribution::kPower: {
+        // Pareto with α = 2: mean = α x_min / (α - 1) = 2 x_min, so
+        // x_min = mean / 2 gives the requested mean before capping.
+        value = rng.pareto(2.0, options.mean / 2.0);
+        break;
+      }
+      case Distribution::kUniform: {
+        const auto hi = static_cast<std::int64_t>(2.0 * options.mean - 1.0);
+        value = static_cast<double>(rng.uniform_int(1, std::max<std::int64_t>(hi, 1)));
+        break;
+      }
+      case Distribution::kNormal: {
+        value = rng.gaussian(options.mean, options.mean / 3.0);
+        break;
+      }
+    }
+    value = std::clamp(std::round(value), 1.0, options.max_demand);
+    d = value;
+  }
+  return demands;
+}
+
+}  // namespace eca::workload

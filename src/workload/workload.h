@@ -1,0 +1,36 @@
+// User workload generators (Section V-A, "User workload").
+//
+// The paper studies three demand distributions: power (heavy-tailed, e.g.
+// social-network fanout), uniform and normal. Demands are positive integers
+// (λ_j ∈ Z+, as required by Lemma 6's λ_j ≥ 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eca::workload {
+
+enum class Distribution {
+  kPower,    // Pareto tail, α = 2.0, minimum 1
+  kUniform,  // uniform on {1, ..., 2*mean - 1}
+  kNormal,   // Gaussian(mean, mean/3), truncated at 1
+};
+
+const char* to_string(Distribution d);
+
+// Parses "power" / "uniform" / "normal"; falls back to kPower.
+Distribution distribution_from_string(const std::string& name);
+
+struct WorkloadOptions {
+  Distribution distribution = Distribution::kPower;
+  double mean = 4.0;        // approximate target mean
+  double max_demand = 64.0; // cap for the heavy tail
+};
+
+// Generates integer demands λ_j >= 1 for `num_users` users.
+std::vector<double> generate_demands(Rng& rng, std::size_t num_users,
+                                     const WorkloadOptions& options);
+
+}  // namespace eca::workload

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "algo/baselines.h"
+#include "algo/online_approx.h"
+#include "sim/paper_examples.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace eca::algo {
+namespace {
+
+using model::Instance;
+using sim::Simulator;
+
+// Small scenario for property tests.
+Instance small_instance(std::uint64_t seed,
+                        workload::Distribution dist =
+                            workload::Distribution::kPower) {
+  sim::ScenarioOptions options;
+  options.num_users = 8;
+  options.num_slots = 6;
+  options.workload.distribution = dist;
+  options.seed = seed;
+  return sim::make_random_walk_instance(options);
+}
+
+class AlgorithmFeasibility
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AlgorithmFeasibility, ProducesFeasibleAllocations) {
+  const auto [algo_idx, seed] = GetParam();
+  const Instance instance = small_instance(static_cast<std::uint64_t>(seed));
+  const auto roster = sim::paper_algorithms(/*include_static_once=*/true);
+  ASSERT_LT(static_cast<std::size_t>(algo_idx), roster.size());
+  auto algorithm = roster[static_cast<std::size_t>(algo_idx)].make();
+  const sim::SimulationResult result = Simulator::run(instance, *algorithm);
+  EXPECT_LT(result.max_violation, 1e-5)
+      << roster[static_cast<std::size_t>(algo_idx)].name;
+  EXPECT_GT(result.weighted_total, 0.0);
+  EXPECT_EQ(result.per_slot.size(), instance.num_slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(RosterBySeed, AlgorithmFeasibility,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 4)));
+
+TEST(OnlineGreedy, IsAggressiveOnFigure1a) {
+  // Greedy follows the user A -> B -> A and pays the paper's 11.5 (plus
+  // the initial provisioning constant).
+  const Instance instance = sim::figure1a_instance();
+  OnlineGreedy greedy;
+  const sim::SimulationResult result = Simulator::run(instance, greedy);
+  EXPECT_NEAR(result.weighted_total,
+              sim::kFigure1aGreedyCost + sim::figure1_initial_dynamic_cost(),
+              1e-4);
+}
+
+TEST(OnlineGreedy, IsConservativeOnFigure1b) {
+  const Instance instance = sim::figure1b_instance();
+  OnlineGreedy greedy;
+  const sim::SimulationResult result = Simulator::run(instance, greedy);
+  EXPECT_NEAR(result.weighted_total,
+              sim::kFigure1bGreedyCost + sim::figure1_initial_dynamic_cost(),
+              1e-4);
+}
+
+TEST(OnlineApprox, BeatsGreedyOnBothFigure1Examples) {
+  for (const Instance& instance :
+       {sim::figure1a_instance(), sim::figure1b_instance()}) {
+    OnlineGreedy greedy;
+    OnlineApprox approx;
+    const double greedy_cost =
+        Simulator::run(instance, greedy).weighted_total;
+    const double approx_cost =
+        Simulator::run(instance, approx).weighted_total;
+    EXPECT_LT(approx_cost, greedy_cost + 1e-6);
+  }
+}
+
+TEST(OnlineApprox, SubproblemCarriesWeightedPrices) {
+  Instance instance = sim::figure1a_instance();
+  instance.weights = model::CostWeights{2.0, 3.0};
+  OnlineApprox approx;
+  model::Allocation prev(2, 1);
+  prev.at(0, 0) = 1.0;
+  const solve::RegularizedProblem p =
+      approx.build_subproblem(instance, 1, prev);
+  // Slot 1: user at B(=1). linear cost for cloud 0 = ws*(op + d(B,A)/λ).
+  EXPECT_DOUBLE_EQ(p.linear_cost[p.index(0, 0)], 2.0 * (1.0 + 2.1));
+  EXPECT_DOUBLE_EQ(p.linear_cost[p.index(1, 0)], 2.0 * 1.0);
+  EXPECT_DOUBLE_EQ(p.recon_price[0], 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(p.migration_price[0], 3.0 * 1.0);
+  EXPECT_EQ(p.prev, prev.x);
+}
+
+TEST(OnlineApprox, AblationWithoutRegularizersMatchesStatOpt) {
+  const Instance instance = small_instance(5);
+  OnlineApproxOptions options;
+  options.use_reconfiguration_regularizer = false;
+  options.use_migration_regularizer = false;
+  OnlineApprox ablated(options);
+  StatOpt stat_opt;
+  const double ablated_cost =
+      Simulator::run(instance, ablated).cost.static_cost();
+  const double stat_cost =
+      Simulator::run(instance, stat_opt).cost.static_cost();
+  // Both minimize the same static objective each slot (up to solver
+  // tolerance and degenerate ties in the dynamic tie-breaking).
+  EXPECT_NEAR(ablated_cost, stat_cost, 1e-2 * (1.0 + stat_cost));
+}
+
+TEST(Atomistic, PerfOptIgnoresOperationPrices) {
+  // perf-opt keeps workload at the attachment cloud regardless of price:
+  // its service-quality cost is minimal among all algorithms.
+  const Instance instance = small_instance(9);
+  PerfOpt perf;
+  StatOpt stat;
+  const auto perf_result = Simulator::run(instance, perf);
+  const auto stat_result = Simulator::run(instance, stat);
+  EXPECT_LE(perf_result.cost.service_quality,
+            stat_result.cost.service_quality + 1e-6);
+}
+
+TEST(Atomistic, OperOptMinimizesOperationCost) {
+  const Instance instance = small_instance(10);
+  OperOpt oper;
+  PerfOpt perf;
+  const auto oper_result = Simulator::run(instance, oper);
+  const auto perf_result = Simulator::run(instance, perf);
+  EXPECT_LE(oper_result.cost.operation, perf_result.cost.operation + 1e-6);
+}
+
+TEST(StatOpt, MinimizesStaticSlotCost) {
+  const Instance instance = small_instance(11);
+  StatOpt stat;
+  PerfOpt perf;
+  OperOpt oper;
+  const double stat_static =
+      Simulator::run(instance, stat).cost.static_cost();
+  EXPECT_LE(stat_static,
+            Simulator::run(instance, perf).cost.static_cost() + 1e-6);
+  EXPECT_LE(stat_static,
+            Simulator::run(instance, oper).cost.static_cost() + 1e-6);
+}
+
+TEST(StaticOnce, NeverAdaptsAfterSlotZero) {
+  const Instance instance = small_instance(12);
+  StaticOnce algorithm;
+  const sim::SimulationResult result = Simulator::run(instance, algorithm);
+  for (std::size_t t = 1; t < instance.num_slots; ++t) {
+    EXPECT_EQ(result.allocations[t].x, result.allocations[0].x);
+  }
+  // After the initial provisioning, no dynamic cost accrues.
+  const model::CostBreakdown first =
+      model::slot_cost(instance, 0, result.allocations[0], nullptr);
+  EXPECT_NEAR(result.cost.dynamic_cost(), first.dynamic_cost(), 1e-9);
+}
+
+}  // namespace
+}  // namespace eca::algo

@@ -1,0 +1,87 @@
+#include "algo/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/offline.h"
+#include "algo/online_approx.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace eca::algo {
+namespace {
+
+model::Instance small_instance(std::uint64_t seed) {
+  sim::ScenarioOptions options;
+  options.num_users = 6;
+  options.num_slots = 5;
+  options.seed = seed;
+  return sim::make_random_walk_instance(options);
+}
+
+class CertificateBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(CertificateBound, LowerBoundsTheOfflineOptimum) {
+  const model::Instance instance =
+      small_instance(static_cast<std::uint64_t>(GetParam()) + 60);
+  // Paper-pure mode: the dual construction of Lemma 2 requires the
+  // subproblem without the extra capacity rows.
+  OnlineApproxOptions options;
+  options.enforce_capacity = false;
+  OnlineApprox approx(options);
+  const sim::SimulationResult run = sim::Simulator::run(instance, approx);
+
+  const OfflineResult offline = solve_offline(instance);
+  ASSERT_EQ(offline.status, solve::SolveStatus::kOptimal);
+  const double opt =
+      sim::Simulator::score(instance, "offline", offline.allocations)
+          .weighted_total;
+
+  const DualCertificate& certificate = approx.certificate();
+  EXPECT_EQ(certificate.slots(), instance.num_slots);
+  // D − σ <= OPT(P0) (weak duality + Lemma 1), with slack for the offline
+  // solver tolerance.
+  EXPECT_LE(certificate.opt_lower_bound(instance), opt * (1.0 + 5e-3));
+  // And consequently the certified ratio upper-bounds the empirical one.
+  if (certificate.opt_lower_bound(instance) > 0.0) {
+    EXPECT_GE(certificate.certified_ratio(run.weighted_total, instance),
+              run.weighted_total / opt * (1.0 - 5e-3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificateBound, ::testing::Range(0, 8));
+
+TEST(Certificate, ResetOnRerun) {
+  const model::Instance instance = small_instance(123);
+  OnlineApproxOptions options;
+  options.enforce_capacity = false;
+  OnlineApprox approx(options);
+  (void)sim::Simulator::run(instance, approx);
+  const double first = approx.certificate().value();
+  (void)sim::Simulator::run(instance, approx);
+  // reset() must clear the accumulator: same value, not doubled.
+  EXPECT_NEAR(approx.certificate().value(), first, 1e-9 * (1.0 + first));
+}
+
+TEST(Certificate, EmptyCertificateIsZero) {
+  DualCertificate certificate;
+  EXPECT_EQ(certificate.slots(), 0u);
+  EXPECT_DOUBLE_EQ(certificate.value(), 0.0);
+}
+
+TEST(Certificate, BoundIsInformativeNotTrivial) {
+  // The certificate should recover a decent fraction of OPT, otherwise it
+  // is useless as a self-assessment tool.
+  const model::Instance instance = small_instance(7);
+  OnlineApproxOptions options;
+  options.enforce_capacity = false;
+  OnlineApprox approx(options);
+  (void)sim::Simulator::run(instance, approx);
+  const OfflineResult offline = solve_offline(instance);
+  const double opt =
+      sim::Simulator::score(instance, "offline", offline.allocations)
+          .weighted_total;
+  EXPECT_GT(approx.certificate().opt_lower_bound(instance), 0.25 * opt);
+}
+
+}  // namespace
+}  // namespace eca::algo

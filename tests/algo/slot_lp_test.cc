@@ -1,0 +1,182 @@
+#include "algo/slot_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/costs.h"
+#include "sim/scenario.h"
+#include "solve/ipm_lp.h"
+
+namespace eca::algo {
+namespace {
+
+using model::Allocation;
+using model::Instance;
+
+Instance small_instance(std::uint64_t seed) {
+  sim::ScenarioOptions options;
+  options.num_users = 5;
+  options.num_slots = 3;
+  options.seed = seed;
+  return sim::make_random_walk_instance(options);
+}
+
+// Naive greedy slot LP with explicit migration rows v_ij >= x_ij - prev_ij
+// (and the matching out-migration accounting); used as ground truth for the
+// split-variable formulation of build_greedy_slot_lp.
+double naive_greedy_optimum(const Instance& instance, std::size_t t,
+                            const Allocation& previous) {
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  const double ws = instance.weights.static_weight;
+  const double wd = instance.weights.dynamic_weight;
+  solve::LpProblem lp;
+  // x variables.
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      // Out-migration: b_out * (prev - x)^+ = b_out*(v - x + prev) with the
+      // SAME v as the in-direction; fold the -x part into the x cost.
+      lp.add_variable(ws * (instance.operation_price[t][i] +
+                            instance.service_coefficient(t, i, j)) -
+                      wd * instance.clouds[i].migration_out_price);
+    }
+  }
+  // u variables (reconfiguration).
+  const std::size_t u0 = lp.num_vars;
+  for (std::size_t i = 0; i < kI; ++i) {
+    lp.add_variable(wd * instance.clouds[i].reconfiguration_price);
+  }
+  // v variables (migration positive part).
+  const std::size_t v0 = lp.num_vars;
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      lp.add_variable(wd * instance.clouds[i].migration_price());
+    }
+  }
+  for (std::size_t j = 0; j < kJ; ++j) {
+    const auto row = lp.add_row_geq(instance.demand[j]);
+    for (std::size_t i = 0; i < kI; ++i) {
+      lp.set_coefficient(row, i * kJ + j, 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < kI; ++i) {
+    const auto row = lp.add_row_leq(instance.clouds[i].capacity);
+    for (std::size_t j = 0; j < kJ; ++j) {
+      lp.set_coefficient(row, i * kJ + j, 1.0);
+    }
+  }
+  const model::Vec prev_totals = previous.cloud_totals();
+  for (std::size_t i = 0; i < kI; ++i) {
+    const auto row = lp.add_row_geq(-prev_totals[i]);
+    lp.set_coefficient(row, u0 + i, 1.0);
+    for (std::size_t j = 0; j < kJ; ++j) {
+      lp.set_coefficient(row, i * kJ + j, -1.0);
+    }
+  }
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const auto row = lp.add_row_geq(-previous.at(i, j));
+      lp.set_coefficient(row, v0 + i * kJ + j, 1.0);
+      lp.set_coefficient(row, i * kJ + j, -1.0);
+    }
+  }
+  const solve::LpSolution sol = solve::InteriorPointLp().solve(lp);
+  EXPECT_EQ(sol.status, solve::SolveStatus::kOptimal);
+  // Add back the constant Σ b_out * prev that the folding dropped.
+  double constant = 0.0;
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      constant +=
+          wd * instance.clouds[i].migration_out_price * previous.at(i, j);
+    }
+  }
+  return sol.objective_value + constant;
+}
+
+double split_greedy_optimum(const Instance& instance, std::size_t t,
+                            const Allocation& previous) {
+  const GreedySlotLp built = build_greedy_slot_lp(instance, t, previous);
+  const solve::LpSolution sol = solve::InteriorPointLp().solve(built.lp);
+  EXPECT_EQ(sol.status, solve::SolveStatus::kOptimal);
+  double constant = 0.0;
+  for (std::size_t i = 0; i < instance.num_clouds; ++i) {
+    for (std::size_t j = 0; j < instance.num_users; ++j) {
+      constant += instance.weights.dynamic_weight *
+                  instance.clouds[i].migration_out_price * previous.at(i, j);
+    }
+  }
+  return sol.objective_value + constant;
+}
+
+class GreedyFormulations : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyFormulations, SplitTrickMatchesNaiveAuxRows) {
+  const Instance instance =
+      small_instance(static_cast<std::uint64_t>(GetParam()) + 500);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  // Random feasible-ish previous allocation.
+  Allocation previous(instance.num_clouds, instance.num_users);
+  for (std::size_t j = 0; j < instance.num_users; ++j) {
+    const std::size_t i = rng.uniform_index(instance.num_clouds);
+    previous.at(i, j) = instance.demand[j];
+  }
+  const double naive = naive_greedy_optimum(instance, 1, previous);
+  const double split = split_greedy_optimum(instance, 1, previous);
+  EXPECT_NEAR(split, naive, 1e-5 * (1.0 + std::abs(naive)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyFormulations, ::testing::Range(0, 10));
+
+TEST(GreedySlotLp, ObjectiveMatchesCostModel) {
+  // The LP objective (plus the dropped constant) must equal the slot cost
+  // of the extracted allocation.
+  const Instance instance = small_instance(3);
+  Rng rng(3);
+  Allocation previous(instance.num_clouds, instance.num_users);
+  for (std::size_t j = 0; j < instance.num_users; ++j) {
+    previous.at(rng.uniform_index(instance.num_clouds), j) =
+        instance.demand[j];
+  }
+  const GreedySlotLp built = build_greedy_slot_lp(instance, 1, previous);
+  const solve::LpSolution sol = solve::InteriorPointLp().solve(built.lp);
+  ASSERT_EQ(sol.status, solve::SolveStatus::kOptimal);
+  const Allocation extracted = built.extract(instance, sol.x);
+  const model::CostBreakdown cost =
+      model::slot_cost(instance, 1, extracted, &previous);
+  double constant = 0.0;
+  for (std::size_t i = 0; i < instance.num_clouds; ++i) {
+    for (std::size_t j = 0; j < instance.num_users; ++j) {
+      constant += instance.weights.dynamic_weight *
+                  instance.clouds[i].migration_out_price * previous.at(i, j);
+    }
+  }
+  // The slot's access-delay term is constant and not in the LP.
+  double access = 0.0;
+  for (double d : instance.access_delay[1]) {
+    access += instance.weights.static_weight * d;
+  }
+  EXPECT_NEAR(sol.objective_value + constant + access,
+              cost.total(instance.weights),
+              1e-5 * (1.0 + cost.total(instance.weights)));
+}
+
+TEST(StaticSlotLp, SelectsRequestedCostTerms) {
+  const Instance instance = small_instance(7);
+  const StaticSlotLp both = build_static_slot_lp(instance, 0, true, true);
+  const StaticSlotLp op_only = build_static_slot_lp(instance, 0, true, false);
+  const StaticSlotLp sq_only = build_static_slot_lp(instance, 0, false, true);
+  for (std::size_t idx = 0; idx < both.lp.num_vars; ++idx) {
+    EXPECT_NEAR(both.lp.objective[idx],
+                op_only.lp.objective[idx] + sq_only.lp.objective[idx], 1e-12);
+  }
+}
+
+TEST(StaticSlotLp, RowCountsAreDemandPlusCapacity) {
+  const Instance instance = small_instance(9);
+  const StaticSlotLp built = build_static_slot_lp(instance, 0, true, true);
+  EXPECT_EQ(built.lp.num_rows, instance.num_users + instance.num_clouds);
+  EXPECT_EQ(built.lp.num_vars, instance.num_users * instance.num_clouds);
+}
+
+}  // namespace
+}  // namespace eca::algo

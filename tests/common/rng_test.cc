@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace eca {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng c0 = parent.split(0);
+  Rng c1 = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c0() == c1()) ++same;
+  }
+  EXPECT_LT(same, 2);
+  // Splitting is deterministic.
+  Rng c0_again = parent.split(0);
+  EXPECT_EQ(c0_again(), Rng(99).split(0)());
+}
+
+TEST(Rng, UniformIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversSupport) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndTail) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.pareto(2.5, 1.0);
+    EXPECT_GE(v, 1.0);
+    stats.add(v);
+  }
+  // E[X] = alpha/(alpha-1) = 5/3 for alpha=2.5, x_min=1.
+  EXPECT_NEAR(stats.mean(), 2.5 / 1.5, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace eca

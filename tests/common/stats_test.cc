@@ -1,0 +1,68 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace eca {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MatchesHandComputedValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 0.5);
+    all.add(i * 0.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(MeanStd, Helpers) {
+  std::vector<double> xs = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,117 @@
+#include "geo/geo.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/metro.h"
+
+namespace eca::geo {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const GeoPoint p{41.9, 12.5};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, KnownDistanceRomeMilan) {
+  // Rome (41.9028, 12.4964) to Milan (45.4642, 9.1900): ~477 km.
+  const GeoPoint rome{41.9028, 12.4964};
+  const GeoPoint milan{45.4642, 9.1900};
+  EXPECT_NEAR(haversine_km(rome, milan), 477.0, 5.0);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const GeoPoint a{41.0, 12.0};
+  const GeoPoint b{42.0, 12.0};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 0.5);
+}
+
+TEST(Haversine, Symmetry) {
+  const GeoPoint a{41.9, 12.5};
+  const GeoPoint b{41.95, 12.45};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(MoveTowards, ReachesTargetWhenClose) {
+  const GeoPoint a{41.90, 12.50};
+  const GeoPoint b{41.901, 12.50};  // ~111 m away
+  const GeoPoint moved = move_towards(a, b, 1.0);
+  EXPECT_DOUBLE_EQ(moved.latitude_deg, b.latitude_deg);
+  EXPECT_DOUBLE_EQ(moved.longitude_deg, b.longitude_deg);
+}
+
+TEST(MoveTowards, MovesRequestedDistance) {
+  const GeoPoint a{41.90, 12.50};
+  const GeoPoint b{41.99, 12.50};  // ~10 km north
+  const GeoPoint moved = move_towards(a, b, 2.0);
+  EXPECT_NEAR(haversine_km(a, moved), 2.0, 0.05);
+  // Stays on the segment.
+  EXPECT_NEAR(moved.longitude_deg, 12.50, 1e-9);
+  EXPECT_GT(moved.latitude_deg, a.latitude_deg);
+  EXPECT_LT(moved.latitude_deg, b.latitude_deg);
+}
+
+TEST(RomeMetro, HasFifteenStationsAndIsConnected) {
+  const MetroNetwork& metro = rome_metro();
+  EXPECT_EQ(metro.size(), 15u);
+  EXPECT_TRUE(metro.connected());
+}
+
+TEST(RomeMetro, TerminiIsTheInterchange) {
+  const MetroNetwork& metro = rome_metro();
+  // Termini (index 6) joins both lines: Repubblica, Vittorio Emanuele,
+  // Castro Pretorio and Cavour.
+  EXPECT_EQ(metro.station(6).name, "Termini");
+  EXPECT_EQ(metro.neighbors(6).size(), 4u);
+}
+
+TEST(RomeMetro, LineEndpointsHaveOneNeighbor) {
+  const MetroNetwork& metro = rome_metro();
+  EXPECT_EQ(metro.neighbors(0).size(), 1u);   // Ottaviano
+  EXPECT_EQ(metro.neighbors(9).size(), 1u);   // San Giovanni
+  EXPECT_EQ(metro.neighbors(10).size(), 1u);  // Castro Pretorio
+  EXPECT_EQ(metro.neighbors(14).size(), 1u);  // Piramide
+}
+
+TEST(RomeMetro, DistancesAreCityScale) {
+  const MetroNetwork& metro = rome_metro();
+  for (std::size_t a = 0; a < metro.size(); ++a) {
+    for (std::size_t b = a + 1; b < metro.size(); ++b) {
+      const double d = metro.distance_km(a, b);
+      EXPECT_GT(d, 0.1) << metro.station(a).name << " - "
+                        << metro.station(b).name;
+      EXPECT_LT(d, 8.0);
+      EXPECT_DOUBLE_EQ(d, metro.distance_km(b, a));
+    }
+  }
+}
+
+TEST(RomeMetro, AdjacentStationsAreClose) {
+  const MetroNetwork& metro = rome_metro();
+  for (std::size_t a = 0; a < metro.size(); ++a) {
+    for (std::size_t b : metro.neighbors(a)) {
+      EXPECT_LT(metro.distance_km(a, b), 2.0);
+    }
+  }
+}
+
+TEST(RomeMetro, NearestStationOfAStationIsItself) {
+  const MetroNetwork& metro = rome_metro();
+  for (std::size_t i = 0; i < metro.size(); ++i) {
+    EXPECT_EQ(metro.nearest_station(metro.station(i).position), i);
+  }
+}
+
+TEST(RomeMetro, BoundingBoxContainsAllStations) {
+  const MetroNetwork& metro = rome_metro();
+  const BoundingBox box = metro.bounding_box(1.0);
+  for (std::size_t i = 0; i < metro.size(); ++i) {
+    EXPECT_TRUE(box.contains(metro.station(i).position));
+  }
+  // The margin strictly inflates the box.
+  const BoundingBox tight = metro.bounding_box(0.0);
+  EXPECT_LT(box.south_west.latitude_deg, tight.south_west.latitude_deg);
+  EXPECT_GT(box.north_east.longitude_deg, tight.north_east.longitude_deg);
+}
+
+}  // namespace
+}  // namespace eca::geo

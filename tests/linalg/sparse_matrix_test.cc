@@ -1,0 +1,97 @@
+#include "linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+
+namespace eca::linalg {
+namespace {
+
+std::vector<Triplet> random_triplets(Rng& rng, std::size_t rows,
+                                     std::size_t cols, double density) {
+  std::vector<Triplet> out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < density) out.push_back({r, c, rng.uniform(-2.0, 2.0)});
+    }
+  }
+  return out;
+}
+
+TEST(SparseMatrix, MatvecMatchesDense) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_index(12);
+    const std::size_t cols = 1 + rng.uniform_index(12);
+    const auto trips = random_triplets(rng, rows, cols, 0.4);
+    const SparseMatrix sparse(rows, cols, trips);
+    const DenseMatrix dense = sparse.to_dense();
+    Vec x(cols);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    const Vec ys = sparse.multiply(x);
+    const Vec yd = dense.multiply(x);
+    for (std::size_t r = 0; r < rows; ++r) EXPECT_NEAR(ys[r], yd[r], 1e-12);
+    Vec y(rows);
+    for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+    const Vec xs = sparse.multiply_transpose(y);
+    const Vec xd = dense.multiply_transpose(y);
+    for (std::size_t c = 0; c < cols; ++c) EXPECT_NEAR(xs[c], xd[c], 1e-12);
+  }
+}
+
+TEST(SparseMatrix, DuplicateTripletsAreSummed) {
+  const SparseMatrix m(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, -1.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  const DenseMatrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(d(1, 1), -1.0);
+}
+
+TEST(SparseMatrix, NormsAndScaling) {
+  const SparseMatrix m(2, 3, {{0, 0, -4.0}, {0, 2, 1.0}, {1, 1, 2.0}});
+  const Vec rn = m.row_inf_norms();
+  EXPECT_DOUBLE_EQ(rn[0], 4.0);
+  EXPECT_DOUBLE_EQ(rn[1], 2.0);
+  const Vec cn = m.col_inf_norms();
+  EXPECT_DOUBLE_EQ(cn[0], 4.0);
+  EXPECT_DOUBLE_EQ(cn[1], 2.0);
+  EXPECT_DOUBLE_EQ(cn[2], 1.0);
+
+  SparseMatrix scaled = m;
+  scaled.scale({0.5, 1.0}, {1.0, 1.0, 2.0});
+  const DenseMatrix d = scaled.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 2.0);
+}
+
+TEST(SparseMatrix, PowerSums) {
+  const SparseMatrix m(2, 2, {{0, 0, 3.0}, {0, 1, -4.0}});
+  const Vec rs = m.row_power_sums(2.0);
+  EXPECT_DOUBLE_EQ(rs[0], 25.0);
+  EXPECT_DOUBLE_EQ(rs[1], 0.0);
+}
+
+TEST(SparseMatrix, SpectralNormOfDiagonal) {
+  const SparseMatrix m(2, 2, {{0, 0, 3.0}, {1, 1, -7.0}});
+  EXPECT_NEAR(m.spectral_norm_estimate(), 7.0, 1e-6);
+}
+
+TEST(SparseMatrix, SpectralNormMatchesKnownMatrix) {
+  // [[1, 1], [0, 1]] has largest singular value (1+sqrt(5))/2.
+  const SparseMatrix m(2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}});
+  EXPECT_NEAR(m.spectral_norm_estimate(200), (1.0 + std::sqrt(5.0)) / 2.0,
+              1e-6);
+}
+
+TEST(SparseMatrix, EmptyMatrix) {
+  const SparseMatrix m(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.spectral_norm_estimate(), 0.0);
+  const Vec y = m.multiply({1.0, 1.0, 1.0});
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace eca::linalg

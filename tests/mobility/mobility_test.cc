@@ -1,0 +1,215 @@
+#include "mobility/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace eca::mobility {
+namespace {
+
+using geo::rome_metro;
+
+TEST(RandomWalk, ShapeAndRange) {
+  Rng rng(1);
+  const RandomWalkMobility walk(rome_metro());
+  const MobilityTrace trace = walk.generate(rng, 10, 30);
+  EXPECT_EQ(trace.num_users, 10u);
+  EXPECT_EQ(trace.num_slots, 30u);
+  ASSERT_EQ(trace.attachment.size(), 30u);
+  for (const auto& slot : trace.attachment) {
+    ASSERT_EQ(slot.size(), 10u);
+    for (std::size_t cloud : slot) EXPECT_LT(cloud, rome_metro().size());
+  }
+}
+
+TEST(RandomWalk, MovesOnlyAlongMetroEdges) {
+  Rng rng(2);
+  const RandomWalkMobility walk(rome_metro());
+  const MobilityTrace trace = walk.generate(rng, 20, 50);
+  for (std::size_t t = 1; t < trace.num_slots; ++t) {
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      const std::size_t from = trace.attachment[t - 1][j];
+      const std::size_t to = trace.attachment[t][j];
+      if (from == to) continue;
+      const auto& neigh = rome_metro().neighbors(from);
+      EXPECT_NE(std::find(neigh.begin(), neigh.end(), to), neigh.end())
+          << "illegal hop " << from << " -> " << to;
+    }
+  }
+}
+
+TEST(RandomWalk, TransitionProbabilityIsUniformOverOptions) {
+  // From Termini (4 neighbors) each of the 5 options (4 moves + stay)
+  // should occur with probability ~1/5 (Section V-D's rule).
+  Rng rng(3);
+  const RandomWalkMobility walk(rome_metro());
+  std::map<std::size_t, int> counts;
+  int from_termini = 0;
+  const MobilityTrace trace = walk.generate(rng, 200, 400);
+  for (std::size_t t = 1; t < trace.num_slots; ++t) {
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      if (trace.attachment[t - 1][j] == 6) {  // Termini
+        ++from_termini;
+        ++counts[trace.attachment[t][j]];
+      }
+    }
+  }
+  ASSERT_GT(from_termini, 2000);
+  for (const auto& [station, count] : counts) {
+    const double p = static_cast<double>(count) / from_termini;
+    EXPECT_NEAR(p, 0.2, 0.03) << "station " << station;
+  }
+  EXPECT_EQ(counts.size(), 5u);
+}
+
+TEST(RandomWalk, PositionsMatchStations) {
+  Rng rng(4);
+  const RandomWalkMobility walk(rome_metro());
+  const MobilityTrace trace = walk.generate(rng, 5, 10);
+  for (std::size_t t = 0; t < trace.num_slots; ++t) {
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      const auto& station = rome_metro().station(trace.attachment[t][j]);
+      EXPECT_NEAR(geo::haversine_km(trace.position[t][j], station.position),
+                  0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Taxi, SpeedIsBounded) {
+  Rng rng(5);
+  TaxiOptions options;
+  const TaxiMobility taxi(rome_metro(), options);
+  const MobilityTrace trace = taxi.generate(rng, 30, 60);
+  const double max_km_per_slot =
+      options.max_speed_kmh * options.slot_minutes / 60.0;
+  for (std::size_t t = 1; t < trace.num_slots; ++t) {
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      const double moved = geo::haversine_km(trace.position[t - 1][j],
+                                             trace.position[t][j]);
+      EXPECT_LE(moved, max_km_per_slot + 1e-9);
+    }
+  }
+}
+
+TEST(Taxi, AttachesToNearestStation) {
+  Rng rng(6);
+  const TaxiMobility taxi(rome_metro());
+  const MobilityTrace trace = taxi.generate(rng, 10, 20);
+  for (std::size_t t = 0; t < trace.num_slots; ++t) {
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      EXPECT_EQ(trace.attachment[t][j],
+                rome_metro().nearest_station(trace.position[t][j]));
+    }
+  }
+}
+
+TEST(Taxi, ModerateMobility) {
+  // The Roma taxi traces exhibit "moderate mobility": within a one-minute
+  // slot most users keep their attachment. The emulation should too.
+  Rng rng(7);
+  const TaxiMobility taxi(rome_metro());
+  const MobilityTrace trace = taxi.generate(rng, 100, 120);
+  const double rate = trace.handover_rate();
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.30);
+}
+
+TEST(Taxi, SomeUsersIdlePerSlot) {
+  Rng rng(8);
+  TaxiOptions options;
+  options.idle_probability = 0.5;
+  const TaxiMobility taxi(rome_metro(), options);
+  const MobilityTrace trace = taxi.generate(rng, 50, 30);
+  int idle = 0;
+  int total = 0;
+  for (std::size_t t = 1; t < trace.num_slots; ++t) {
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      ++total;
+      if (geo::haversine_km(trace.position[t - 1][j], trace.position[t][j]) <
+          1e-12) {
+        ++idle;
+      }
+    }
+  }
+  const double idle_rate = static_cast<double>(idle) / total;
+  EXPECT_NEAR(idle_rate, 0.5, 0.1);
+}
+
+TEST(Commuter, DriftsTowardHubThenBackHome) {
+  Rng rng(42);
+  CommuterOptions options;
+  options.hub = 6;  // Termini
+  const CommuterMobility commuter(rome_metro(), options);
+  const std::size_t slots = 60;
+  const MobilityTrace trace = commuter.generate(rng, 100, slots);
+  auto at_hub = [&](std::size_t t) {
+    int count = 0;
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      if (trace.attachment[t][j] == options.hub) ++count;
+    }
+    return count;
+  };
+  // By mid-horizon most users have gathered at the hub; by the end they
+  // have dispersed back toward their homes.
+  EXPECT_GT(at_hub(slots / 2 - 1), at_hub(0) + 20);
+  EXPECT_LT(at_hub(slots - 1), at_hub(slots / 2 - 1));
+}
+
+TEST(Commuter, MovesOnlyAlongEdges) {
+  Rng rng(43);
+  const CommuterMobility commuter(rome_metro());
+  const MobilityTrace trace = commuter.generate(rng, 20, 30);
+  for (std::size_t t = 1; t < trace.num_slots; ++t) {
+    for (std::size_t j = 0; j < trace.num_users; ++j) {
+      const std::size_t from = trace.attachment[t - 1][j];
+      const std::size_t to = trace.attachment[t][j];
+      if (from == to) continue;
+      const auto& neigh = rome_metro().neighbors(from);
+      EXPECT_NE(std::find(neigh.begin(), neigh.end(), to), neigh.end());
+    }
+  }
+}
+
+TEST(Stationary, NoHandover) {
+  Rng rng(9);
+  const StationaryMobility stay(rome_metro());
+  const MobilityTrace trace = stay.generate(rng, 25, 40);
+  EXPECT_DOUBLE_EQ(trace.handover_rate(), 0.0);
+}
+
+TEST(PingPong, AlternatesWithPeriod) {
+  Rng rng(10);
+  const PingPongMobility pp(rome_metro(), 2, 9, 3);
+  const MobilityTrace trace = pp.generate(rng, 4, 12);
+  for (std::size_t t = 0; t < 12; ++t) {
+    const std::size_t expected = (t / 3) % 2 == 0 ? 2u : 9u;
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(trace.attachment[t][j], expected) << "slot " << t;
+    }
+  }
+}
+
+TEST(Trace, AttachmentFrequencySumsToOne) {
+  Rng rng(11);
+  const RandomWalkMobility walk(rome_metro());
+  const MobilityTrace trace = walk.generate(rng, 40, 60);
+  const auto freq = trace.attachment_frequency(rome_metro().size());
+  double sum = 0.0;
+  for (double f : freq) {
+    EXPECT_GE(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Trace, DeterministicBySeed) {
+  const RandomWalkMobility walk(rome_metro());
+  Rng a(77), b(77);
+  const MobilityTrace ta = walk.generate(a, 10, 10);
+  const MobilityTrace tb = walk.generate(b, 10, 10);
+  EXPECT_EQ(ta.attachment, tb.attachment);
+}
+
+}  // namespace
+}  // namespace eca::mobility

@@ -1,0 +1,225 @@
+#include "model/costs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/paper_examples.h"
+
+namespace eca::model {
+namespace {
+
+// Hand-built 2-cloud, 2-user, 2-slot instance for exact cost arithmetic.
+Instance tiny_instance() {
+  Instance instance;
+  instance.num_clouds = 2;
+  instance.num_users = 2;
+  instance.num_slots = 2;
+  instance.clouds.resize(2);
+  instance.clouds[0] = {10.0, 2.0, 0.5, 1.0};  // C, c, b_out, b_in
+  instance.clouds[1] = {10.0, 3.0, 1.5, 0.5};
+  instance.inter_cloud_delay = {{0.0, 4.0}, {4.0, 0.0}};
+  instance.demand = {1.0, 2.0};
+  instance.operation_price = {{1.0, 2.0}, {3.0, 1.0}};
+  instance.attachment = {{0, 1}, {1, 1}};
+  instance.access_delay = {{0.5, 0.25}, {1.0, 0.0}};
+  return instance;
+}
+
+Allocation make_alloc(std::initializer_list<double> values) {
+  Allocation a(2, 2);
+  std::size_t idx = 0;
+  for (double v : values) a.x[idx++] = v;
+  return a;
+}
+
+TEST(Costs, HandComputedSlotCost) {
+  const Instance instance = tiny_instance();
+  // Slot 0: user0 -> cloud0, user1 -> cloud1.
+  // x = [cloud0: (u0=1, u1=0); cloud1: (u0=0, u1=2)].
+  const Allocation x0 = make_alloc({1.0, 0.0, 0.0, 2.0});
+  const CostBreakdown cost = slot_cost(instance, 0, x0, nullptr);
+  // Operation: 1*1 + 2*2 = 5.
+  EXPECT_DOUBLE_EQ(cost.operation, 5.0);
+  // Service quality: access 0.5 + 0.25; inter-cloud: user0 at cloud0 with
+  // x in cloud0 only (delay 0); user1 at cloud1 with x in cloud1 (0).
+  EXPECT_DOUBLE_EQ(cost.service_quality, 0.75);
+  // Reconfiguration from zero: c0*1 + c1*2 = 2 + 6 = 8.
+  EXPECT_DOUBLE_EQ(cost.reconfiguration, 8.0);
+  // Migration: into cloud0: 1 unit (b_in 1.0); into cloud1: 2 (b_in 0.5).
+  EXPECT_DOUBLE_EQ(cost.migration, 1.0 * 1.0 + 0.5 * 2.0);
+}
+
+TEST(Costs, HandComputedTransitionCost) {
+  const Instance instance = tiny_instance();
+  const Allocation x0 = make_alloc({1.0, 0.0, 0.0, 2.0});
+  // Slot 1: user0's work moves cloud0 -> cloud1; user1 splits 1+1.
+  const Allocation x1 = make_alloc({0.0, 1.0, 1.0, 1.0});
+  const CostBreakdown cost = slot_cost(instance, 1, x1, &x0);
+  // Operation: cloud0 holds u1's 1 at price 3; cloud1 holds u0's 1 and
+  // u1's 1 at price 1 -> 3 + 2 = 5.
+  EXPECT_DOUBLE_EQ(cost.operation, 5.0);
+  // Service quality: access 1.0 + 0.0. user0 at cloud1, work in cloud1: 0.
+  // user1 at cloud1, 1 unit in cloud0: 4.0 * 1 / λ=2 = 2.
+  EXPECT_DOUBLE_EQ(cost.service_quality, 3.0);
+  // Aggregates: cloud0: 1 -> 1 (no increase); cloud1: 2 -> 2 (none).
+  EXPECT_DOUBLE_EQ(cost.reconfiguration, 0.0);
+  // Per-user flows: cloud0: u0 -1, u1 +1 -> in 1 (b_in 1.0), out 1
+  // (b_out 0.5); cloud1: u0 +1, u1 -1 -> in 1 (b_in 0.5), out 1 (b_out 1.5).
+  EXPECT_DOUBLE_EQ(cost.migration, 1.0 + 0.5 + 0.5 + 1.5);
+}
+
+TEST(Costs, TotalIsSumOfSlots) {
+  const Instance instance = tiny_instance();
+  const AllocationSequence seq = {make_alloc({1.0, 0.0, 0.0, 2.0}),
+                                  make_alloc({0.0, 1.0, 1.0, 1.0})};
+  const CostBreakdown total = total_cost(instance, seq);
+  const CostBreakdown s0 = slot_cost(instance, 0, seq[0], nullptr);
+  const CostBreakdown s1 = slot_cost(instance, 1, seq[1], &seq[0]);
+  EXPECT_DOUBLE_EQ(total.operation, s0.operation + s1.operation);
+  EXPECT_DOUBLE_EQ(total.migration, s0.migration + s1.migration);
+  EXPECT_DOUBLE_EQ(total.reconfiguration,
+                   s0.reconfiguration + s1.reconfiguration);
+}
+
+TEST(Costs, WeightsApplyToStaticAndDynamicParts) {
+  CostBreakdown cost;
+  cost.operation = 2.0;
+  cost.service_quality = 3.0;
+  cost.reconfiguration = 5.0;
+  cost.migration = 7.0;
+  const CostWeights weights{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(cost.total(weights), 2.0 * 5.0 + 0.5 * 12.0);
+  EXPECT_DOUBLE_EQ(weights.mu(), 0.25);
+  EXPECT_DOUBLE_EQ(CostWeights::from_mu(3.0).mu(), 3.0);
+}
+
+TEST(Costs, Figure1aArithmetic) {
+  // Keeping the workload at A for all three slots costs 9.6 plus the
+  // initial provisioning (Section II-E).
+  const Instance instance = sim::figure1a_instance();
+  AllocationSequence stay(3, Allocation(2, 1));
+  for (auto& a : stay) a.at(0, 0) = 1.0;
+  const double total = total_cost(instance, stay).total(instance.weights);
+  EXPECT_NEAR(total,
+              sim::kFigure1aOptimalCost + sim::figure1_initial_dynamic_cost(),
+              1e-12);
+
+  // Following the user (A, B, A) costs 11.5 plus provisioning.
+  AllocationSequence follow(3, Allocation(2, 1));
+  follow[0].at(0, 0) = 1.0;
+  follow[1].at(1, 0) = 1.0;
+  follow[2].at(0, 0) = 1.0;
+  const double follow_total =
+      total_cost(instance, follow).total(instance.weights);
+  EXPECT_NEAR(follow_total,
+              sim::kFigure1aGreedyCost + sim::figure1_initial_dynamic_cost(),
+              1e-12);
+}
+
+TEST(Costs, Figure1bArithmetic) {
+  const Instance instance = sim::figure1b_instance();
+  // Staying at A (greedy's conservative choice): 11.3 + provisioning.
+  AllocationSequence stay(3, Allocation(2, 1));
+  for (auto& a : stay) a.at(0, 0) = 1.0;
+  EXPECT_NEAR(total_cost(instance, stay).total(instance.weights),
+              sim::kFigure1bGreedyCost + sim::figure1_initial_dynamic_cost(),
+              1e-12);
+  // Migrating to B at slot 2: 9.5 + provisioning.
+  AllocationSequence move(3, Allocation(2, 1));
+  move[0].at(0, 0) = 1.0;
+  move[1].at(1, 0) = 1.0;
+  move[2].at(1, 0) = 1.0;
+  EXPECT_NEAR(total_cost(instance, move).total(instance.weights),
+              sim::kFigure1bOptimalCost + sim::figure1_initial_dynamic_cost(),
+              1e-12);
+}
+
+TEST(Lemma1, TransformedObjectiveBound) {
+  // P1 <= P0 + σ for any feasible sequence (proof of Lemma 1).
+  const Instance instance = tiny_instance();
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    AllocationSequence seq;
+    for (std::size_t t = 0; t < instance.num_slots; ++t) {
+      Allocation a(2, 2);
+      for (auto& v : a.x) v = rng.uniform(0.0, 3.0);
+      seq.push_back(a);
+    }
+    const double p0 = total_cost(instance, seq).total(instance.weights);
+    const double p1 = p1_objective(instance, seq);
+    EXPECT_LE(p1, p0 + lemma1_sigma(instance) + 1e-9);
+    // And P1 >= P0's non-out-migration part, so P1 >= P0 - Σ b_out * flow.
+    EXPECT_GE(p1, total_cost(instance, seq).static_cost() - 1e-9);
+  }
+}
+
+TEST(Theorem2, BoundDecreasesInEpsilonAndExceedsOne) {
+  const Instance instance = tiny_instance();
+  double previous = std::numeric_limits<double>::infinity();
+  for (double eps : {1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0}) {
+    const double r = competitive_ratio_bound(instance, eps, eps);
+    EXPECT_GT(r, 1.0);
+    EXPECT_LT(r, previous);
+    previous = r;
+  }
+}
+
+TEST(Instance, ValidationCatchesBrokenInstances) {
+  Instance ok = tiny_instance();
+  EXPECT_TRUE(ok.validate().empty());
+
+  Instance bad = tiny_instance();
+  bad.demand[0] = 0.0;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = tiny_instance();
+  bad.inter_cloud_delay[0][1] = -1.0;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = tiny_instance();
+  bad.attachment[0][0] = 7;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = tiny_instance();
+  bad.inter_cloud_delay[0][0] = 0.5;
+  EXPECT_FALSE(bad.validate().empty());
+
+  bad = tiny_instance();
+  bad.operation_price[1].pop_back();
+  EXPECT_FALSE(bad.validate().empty());
+}
+
+TEST(Allocation, Accessors) {
+  Allocation a(2, 3);
+  a.at(1, 2) = 5.0;
+  a.at(0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(a.user_total(2), 5.0);
+  EXPECT_DOUBLE_EQ(a.user_total(0), 1.0);
+  const Vec totals = a.cloud_totals();
+  EXPECT_DOUBLE_EQ(totals[0], 1.0);
+  EXPECT_DOUBLE_EQ(totals[1], 5.0);
+}
+
+TEST(MaxViolation, DetectsEachConstraintFamily) {
+  const Instance instance = tiny_instance();
+  AllocationSequence seq(2, Allocation(2, 2));
+  // Demand unmet: violation = max demand.
+  EXPECT_DOUBLE_EQ(max_violation(instance, seq), 2.0);
+  // Feasible.
+  for (auto& a : seq) {
+    a.at(0, 0) = 1.0;
+    a.at(1, 1) = 2.0;
+  }
+  EXPECT_DOUBLE_EQ(max_violation(instance, seq), 0.0);
+  // Capacity exceeded.
+  seq[0].at(0, 1) = 12.0;
+  EXPECT_NEAR(max_violation(instance, seq), 3.0, 1e-12);
+  // Negative entry.
+  seq[0].at(0, 1) = 0.0;
+  seq[1].at(1, 0) = -0.5;
+  seq[1].at(0, 0) = 1.5;  // keep demand satisfied
+  EXPECT_DOUBLE_EQ(max_violation(instance, seq), 0.5);
+}
+
+}  // namespace
+}  // namespace eca::model

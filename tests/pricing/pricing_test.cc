@@ -1,0 +1,90 @@
+#include "pricing/pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace eca::pricing {
+namespace {
+
+TEST(BasePrices, InverselyProportionalToCapacity) {
+  const std::vector<double> capacity = {10.0, 20.0, 40.0};
+  OperationPriceOptions options;
+  const auto base = base_operation_prices(capacity, options);
+  EXPECT_NEAR(base[0] / base[1], 2.0, 1e-12);
+  EXPECT_NEAR(base[1] / base[2], 2.0, 1e-12);
+}
+
+TEST(BasePrices, NormalizedToRequestedMean) {
+  const std::vector<double> capacity = {5.0, 8.0, 13.0, 21.0};
+  OperationPriceOptions options;
+  options.mean_base_price = 2.5;
+  const auto base = base_operation_prices(capacity, options);
+  EXPECT_NEAR(mean_of(base), 2.5, 1e-12);
+}
+
+TEST(PriceSeries, GaussianAroundBaseWithHalfStddev) {
+  Rng rng(5);
+  const std::vector<double> base = {2.0};
+  OperationPriceOptions options;  // stddev factor 0.5 as in the paper
+  options.floor = 0.0;
+  const auto series = operation_price_series(rng, base, 200000, options);
+  RunningStats stats;
+  for (const auto& slot : series) stats.add(slot[0]);
+  EXPECT_NEAR(stats.mean(), 2.0, 0.03);
+  // Truncation at 0 slightly reduces the spread; allow a tolerance band.
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(PriceSeries, RespectsFloor) {
+  Rng rng(7);
+  const std::vector<double> base = {1.0};
+  OperationPriceOptions options;
+  options.floor = 0.1;
+  const auto series = operation_price_series(rng, base, 50000, options);
+  for (const auto& slot : series) EXPECT_GE(slot[0], 0.1 * base[0]);
+}
+
+TEST(PriceSeries, ShapeMatchesSlotsAndClouds) {
+  Rng rng(9);
+  const std::vector<double> base = {1.0, 2.0, 3.0};
+  const auto series = operation_price_series(rng, base, 17, {});
+  ASSERT_EQ(series.size(), 17u);
+  for (const auto& slot : series) EXPECT_EQ(slot.size(), 3u);
+}
+
+TEST(BandwidthPrices, ThreeClustersWithPaperRatios) {
+  BandwidthPriceOptions options;
+  const auto prices = bandwidth_prices(6, options);
+  ASSERT_EQ(prices.size(), 6u);
+  // Round-robin assignment repeats the cluster pattern.
+  EXPECT_DOUBLE_EQ(prices[0], prices[3]);
+  EXPECT_DOUBLE_EQ(prices[1], prices[4]);
+  EXPECT_DOUBLE_EQ(prices[2], prices[5]);
+  // Relative ratios are exactly the ISP flat rates.
+  EXPECT_NEAR(prices[1] / prices[0], 4.86 / 2.49, 1e-12);
+  EXPECT_NEAR(prices[2] / prices[0], 1.25 / 2.49, 1e-12);
+}
+
+TEST(ReconfigurationPrices, NegativeTailIsCut) {
+  Rng rng(11);
+  ReconfigurationPriceOptions options;
+  options.mean = 0.1;  // wide relative spread -> frequent truncation
+  options.stddev = 1.0;
+  const auto prices = reconfiguration_prices(rng, 10000, options);
+  for (double p : prices) EXPECT_GE(p, 0.0);
+  // Some mass actually hits the floor.
+  EXPECT_GT(std::count(prices.begin(), prices.end(), 0.0), 0);
+}
+
+TEST(ReconfigurationPrices, MeanRoughlyPreservedWhenTruncationRare) {
+  Rng rng(13);
+  ReconfigurationPriceOptions options;
+  options.mean = 5.0;
+  options.stddev = 0.5;
+  const auto prices = reconfiguration_prices(rng, 20000, options);
+  EXPECT_NEAR(mean_of(prices), 5.0, 0.05);
+}
+
+}  // namespace
+}  // namespace eca::pricing

@@ -1,0 +1,64 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace eca::sim {
+namespace {
+
+model::Instance tiny(int rep) {
+  ScenarioOptions options;
+  options.num_users = 5;
+  options.num_slots = 4;
+  options.seed = 100 + static_cast<std::uint64_t>(rep);
+  return make_random_walk_instance(options);
+}
+
+TEST(Runner, PaperRosterHasTheFiveAlgorithms) {
+  const auto roster = paper_algorithms();
+  ASSERT_EQ(roster.size(), 5u);
+  EXPECT_EQ(roster[0].name, "perf-opt");
+  EXPECT_EQ(roster[4].name, "online-approx");
+  const auto with_static = paper_algorithms(true);
+  EXPECT_EQ(with_static.size(), 6u);
+  EXPECT_EQ(with_static[0].name, "static-once");
+}
+
+TEST(Runner, RatiosAreAtLeastOneUpToTolerance) {
+  ExperimentOptions options;
+  options.repetitions = 2;
+  const ExperimentResult result =
+      run_experiment(tiny, paper_algorithms(), options);
+  ASSERT_EQ(result.algorithms.size(), 5u);
+  for (const auto& summary : result.algorithms) {
+    EXPECT_EQ(summary.ratio.count(), 2u) << summary.name;
+    EXPECT_GE(summary.ratio.mean(), 1.0 - 5e-3) << summary.name;
+    EXPECT_LT(summary.worst_violation, 1e-5) << summary.name;
+  }
+  EXPECT_EQ(result.offline_cost.count(), 2u);
+}
+
+TEST(Runner, FindLocatesSummaries) {
+  ExperimentOptions options;
+  options.repetitions = 1;
+  const ExperimentResult result =
+      run_experiment(tiny, paper_algorithms(), options);
+  EXPECT_NE(result.find("online-approx"), nullptr);
+  EXPECT_NE(result.find("online-greedy"), nullptr);
+  EXPECT_EQ(result.find("no-such-algorithm"), nullptr);
+}
+
+TEST(Runner, OnlineApproxBeatsAtomisticOnAverage) {
+  ExperimentOptions options;
+  options.repetitions = 2;
+  const ExperimentResult result =
+      run_experiment([](int rep) { return tiny(rep + 40); },
+                     paper_algorithms(), options);
+  const double approx = result.find("online-approx")->ratio.mean();
+  EXPECT_LE(approx, result.find("oper-opt")->ratio.mean() + 1e-9);
+  EXPECT_LE(approx, result.find("stat-opt")->ratio.mean() + 0.05);
+}
+
+}  // namespace
+}  // namespace eca::sim

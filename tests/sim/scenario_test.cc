@@ -1,0 +1,163 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace eca::sim {
+namespace {
+
+TEST(Scenario, RandomWalkInstanceIsValid) {
+  ScenarioOptions options;
+  options.num_users = 12;
+  options.num_slots = 10;
+  options.seed = 3;
+  const model::Instance instance = make_random_walk_instance(options);
+  EXPECT_TRUE(instance.validate().empty());
+  EXPECT_EQ(instance.num_clouds, 15u);
+  EXPECT_EQ(instance.num_users, 12u);
+  EXPECT_EQ(instance.num_slots, 10u);
+}
+
+TEST(Scenario, CapacityMatchesUtilizationTarget) {
+  // Section V-A: utilization 80% => total capacity = 1.25x total workload.
+  ScenarioOptions options;
+  options.num_users = 30;
+  options.num_slots = 12;
+  options.seed = 5;
+  const model::Instance instance = make_random_walk_instance(options);
+  EXPECT_NEAR(linalg::sum(instance.capacities()),
+              1.25 * instance.total_demand(), 1e-9);
+}
+
+TEST(Scenario, CapacityFollowsAttachmentFrequency) {
+  ScenarioOptions options;
+  options.num_users = 200;
+  options.num_slots = 30;
+  options.seed = 7;
+  options.capacity_floor_share = 0.0;
+  const model::Instance instance = make_random_walk_instance(options);
+  // Count attachments and check the busiest station got more capacity than
+  // the least busy one.
+  std::vector<double> counts(instance.num_clouds, 0.0);
+  for (const auto& slot : instance.attachment) {
+    for (std::size_t cloud : slot) counts[cloud] += 1.0;
+  }
+  std::size_t busiest = 0;
+  std::size_t quietest = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[busiest]) busiest = i;
+    if (counts[i] < counts[quietest]) quietest = i;
+  }
+  EXPECT_GT(instance.clouds[busiest].capacity,
+            instance.clouds[quietest].capacity);
+  // Proportionality (exact with zero floor share).
+  if (counts[quietest] > 0.0) {
+    EXPECT_NEAR(instance.clouds[busiest].capacity /
+                    instance.clouds[quietest].capacity,
+                counts[busiest] / counts[quietest], 1e-6);
+  }
+}
+
+TEST(Scenario, OperationPricesInverseToCapacityOnAverage) {
+  ScenarioOptions options;
+  options.num_users = 60;
+  options.num_slots = 200;
+  options.seed = 11;
+  const model::Instance instance = make_random_walk_instance(options);
+  // Average realized price per cloud should order inversely to capacity.
+  std::vector<double> avg(instance.num_clouds, 0.0);
+  for (const auto& slot : instance.operation_price) {
+    for (std::size_t i = 0; i < instance.num_clouds; ++i) avg[i] += slot[i];
+  }
+  std::size_t biggest = 0;
+  std::size_t smallest = 0;
+  for (std::size_t i = 1; i < instance.num_clouds; ++i) {
+    if (instance.clouds[i].capacity > instance.clouds[biggest].capacity) {
+      biggest = i;
+    }
+    if (instance.clouds[i].capacity < instance.clouds[smallest].capacity) {
+      smallest = i;
+    }
+  }
+  EXPECT_LT(avg[biggest], avg[smallest]);
+}
+
+TEST(Scenario, InterCloudDelayPricedByDistance) {
+  ScenarioOptions options;
+  options.num_users = 5;
+  options.num_slots = 4;
+  options.delay_price_per_km = 2.5;
+  options.seed = 13;
+  const model::Instance instance = make_random_walk_instance(options);
+  const auto& metro = geo::rome_metro();
+  for (std::size_t i = 0; i < instance.num_clouds; ++i) {
+    for (std::size_t k = 0; k < instance.num_clouds; ++k) {
+      EXPECT_NEAR(instance.inter_cloud_delay[i][k],
+                  2.5 * metro.distance_km(i, k), 1e-9);
+    }
+  }
+}
+
+TEST(Scenario, RandomWalkUsersHaveZeroAccessDelay) {
+  // Random-walk users sit exactly at stations.
+  ScenarioOptions options;
+  options.num_users = 10;
+  options.num_slots = 8;
+  options.seed = 17;
+  const model::Instance instance = make_random_walk_instance(options);
+  for (const auto& slot : instance.access_delay) {
+    for (double d : slot) EXPECT_NEAR(d, 0.0, 1e-9);
+  }
+}
+
+TEST(Scenario, TaxiUsersHavePositiveAccessDelay) {
+  ScenarioOptions options;
+  options.num_users = 20;
+  options.num_slots = 10;
+  options.seed = 19;
+  const model::Instance instance = make_rome_taxi_instance(options, 0);
+  double total = 0.0;
+  for (const auto& slot : instance.access_delay) {
+    for (double d : slot) {
+      EXPECT_GE(d, 0.0);
+      total += d;
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Scenario, HourCasesDiffer) {
+  ScenarioOptions options;
+  options.num_users = 10;
+  options.num_slots = 10;
+  options.seed = 23;
+  const model::Instance h0 = make_rome_taxi_instance(options, 0);
+  const model::Instance h1 = make_rome_taxi_instance(options, 1);
+  EXPECT_NE(h0.attachment, h1.attachment);
+}
+
+TEST(Scenario, DeterministicBySeed) {
+  ScenarioOptions options;
+  options.num_users = 10;
+  options.num_slots = 10;
+  options.seed = 29;
+  const model::Instance a = make_rome_taxi_instance(options, 2);
+  const model::Instance b = make_rome_taxi_instance(options, 2);
+  EXPECT_EQ(a.attachment, b.attachment);
+  EXPECT_EQ(a.demand, b.demand);
+  EXPECT_EQ(a.operation_price, b.operation_price);
+}
+
+TEST(Scenario, MuSetsWeights) {
+  ScenarioOptions options;
+  options.num_users = 4;
+  options.num_slots = 3;
+  options.mu = 0.125;
+  options.seed = 31;
+  const model::Instance instance = make_random_walk_instance(options);
+  EXPECT_DOUBLE_EQ(instance.weights.mu(), 0.125);
+}
+
+}  // namespace
+}  // namespace eca::sim

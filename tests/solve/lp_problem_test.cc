@@ -1,0 +1,95 @@
+#include "solve/lp_problem.h"
+
+#include <gtest/gtest.h>
+
+namespace eca::solve {
+namespace {
+
+TEST(LpProblem, BuilderProducesConsistentShapes) {
+  LpProblem lp;
+  const auto v0 = lp.add_variable(1.0);
+  const auto v1 = lp.add_variable(-2.0, 0.5, 3.0);
+  EXPECT_EQ(v0, 0u);
+  EXPECT_EQ(v1, 1u);
+  const auto r0 = lp.add_row_geq(1.0);
+  const auto r1 = lp.add_row_leq(5.0);
+  const auto r2 = lp.add_row_eq(2.0);
+  lp.set_coefficient(r0, v0, 1.0);
+  lp.set_coefficient(r1, v1, 2.0);
+  lp.set_coefficient(r2, v0, 1.0);
+  EXPECT_EQ(lp.num_vars, 2u);
+  EXPECT_EQ(lp.num_rows, 3u);
+  EXPECT_TRUE(lp.validate().empty());
+  EXPECT_EQ(lp.row_lower[r0], 1.0);
+  EXPECT_EQ(lp.row_upper[r0], kInf);
+  EXPECT_EQ(lp.row_lower[r1], -kInf);
+  EXPECT_EQ(lp.row_lower[r2], lp.row_upper[r2]);
+}
+
+TEST(LpProblem, ValidateCatchesCrossedVariableBounds) {
+  LpProblem lp;
+  lp.add_variable(1.0, 2.0, 1.0);
+  EXPECT_NE(lp.validate().find("crossed"), std::string::npos);
+}
+
+TEST(LpProblem, ValidateCatchesCrossedRowBounds) {
+  LpProblem lp;
+  lp.add_variable(1.0);
+  lp.add_row(3.0, 2.0);
+  EXPECT_NE(lp.validate().find("crossed"), std::string::npos);
+}
+
+TEST(LpProblem, ValidateCatchesOutOfRangeElements) {
+  LpProblem lp;
+  lp.add_variable(1.0);
+  lp.add_row_geq(0.0);
+  lp.elements.push_back({5, 0, 1.0});
+  EXPECT_NE(lp.validate().find("out of range"), std::string::npos);
+}
+
+TEST(LpProblem, ValidateCatchesNonFiniteCoefficients) {
+  LpProblem lp;
+  lp.add_variable(1.0);
+  const auto row = lp.add_row_geq(0.0);
+  lp.set_coefficient(row, 0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_NE(lp.validate().find("not finite"), std::string::npos);
+}
+
+TEST(MaxConstraintViolation, MeasuresWorstViolation) {
+  LpProblem lp;
+  lp.add_variable(1.0, 0.0, 2.0);
+  lp.add_variable(1.0, 0.0, kInf);
+  const auto row = lp.add_row_geq(3.0);
+  lp.set_coefficient(row, 0, 1.0);
+  lp.set_coefficient(row, 1, 1.0);
+  EXPECT_DOUBLE_EQ(max_constraint_violation(lp, {1.0, 1.0}), 1.0);  // row
+  EXPECT_DOUBLE_EQ(max_constraint_violation(lp, {3.0, 1.0}), 1.0);  // bound
+  EXPECT_DOUBLE_EQ(max_constraint_violation(lp, {-0.5, 4.0}), 0.5); // nonneg
+  EXPECT_DOUBLE_EQ(max_constraint_violation(lp, {2.0, 1.0}), 0.0);
+}
+
+TEST(SolveStatus, StringNames) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kPrimalInfeasible),
+               "primal-infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kDualInfeasible), "dual-infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(SolveStatus::kNumericalError), "numerical-error");
+}
+
+TEST(LpProblem, MatrixAssemblesFromElements) {
+  LpProblem lp;
+  lp.add_variable(1.0);
+  lp.add_variable(1.0);
+  const auto row = lp.add_row_geq(0.0);
+  lp.set_coefficient(row, 0, 2.0);
+  lp.set_coefficient(row, 1, -1.0);
+  const linalg::SparseMatrix m = lp.matrix();
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+  const linalg::Vec y = m.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+}
+
+}  // namespace
+}  // namespace eca::solve

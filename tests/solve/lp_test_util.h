@@ -1,0 +1,141 @@
+// Shared helpers for the solver tests: random feasible-bounded LP families
+// and a brute-force vertex-enumeration optimizer used as ground truth on
+// tiny problems.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+#include "solve/lp_problem.h"
+
+namespace eca::solve::testing {
+
+// Random LP that is guaranteed feasible (a known interior point x0 exists)
+// and bounded (all variables box-bounded): rows are a'x >= l with
+// l = a'x0 - slack, plus a few a'x <= u rows.
+inline LpProblem make_random_box_lp(Rng& rng, std::size_t n, std::size_t m_geq,
+                                    std::size_t m_leq) {
+  LpProblem lp;
+  Vec x0(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x0[j] = rng.uniform(0.2, 2.0);
+    lp.add_variable(rng.uniform(-1.0, 2.0), 0.0, x0[j] + rng.uniform(0.5, 2.0));
+  }
+  for (std::size_t r = 0; r < m_geq + m_leq; ++r) {
+    double activity = 0.0;
+    std::vector<std::pair<std::size_t, double>> coeffs;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform() < 0.7 || n <= 2) {
+        const double a = rng.uniform(-1.0, 2.0);
+        coeffs.push_back({j, a});
+        activity += a * x0[j];
+      }
+    }
+    if (coeffs.empty()) {
+      coeffs.push_back({0, 1.0});
+      activity += x0[0];
+    }
+    std::size_t row = 0;
+    if (r < m_geq) {
+      row = lp.add_row_geq(activity - rng.uniform(0.05, 1.0));
+    } else {
+      row = lp.add_row_leq(activity + rng.uniform(0.05, 1.0));
+    }
+    for (const auto& [col, a] : coeffs) lp.set_coefficient(row, col, a);
+  }
+  return lp;
+}
+
+// Exhaustive vertex enumeration for tiny LPs (n <= 5, all variables
+// box-bounded). Returns the optimal objective value, or nullopt when no
+// feasible vertex exists.
+inline std::optional<double> brute_force_optimum(const LpProblem& lp) {
+  const std::size_t n = lp.num_vars;
+  const std::size_t m = lp.num_rows;
+  ECA_CHECK(n <= 5 && m <= 6, "brute force is for tiny LPs only");
+  linalg::DenseMatrix a_dense(m, n);
+  for (const auto& t : lp.elements) a_dense(t.row, t.col) += t.value;
+
+  std::optional<double> best;
+  // Row activity: 0 = inactive, 1 = at lower, 2 = at upper.
+  std::vector<int> row_state(m, 0);
+  // Variable state: 0 = free, 1 = at lower, 2 = at upper.
+  std::vector<int> var_state(n, 0);
+
+  auto evaluate_candidate = [&] {
+    std::vector<std::size_t> free_vars;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (var_state[j] == 0) free_vars.push_back(j);
+    }
+    std::vector<std::size_t> active_rows;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (row_state[r] != 0) active_rows.push_back(r);
+    }
+    if (free_vars.size() != active_rows.size()) return;
+    const std::size_t k = free_vars.size();
+    Vec x(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (var_state[j] == 1) x[j] = lp.var_lower[j];
+      if (var_state[j] == 2) x[j] = lp.var_upper[j];
+    }
+    if (k > 0) {
+      linalg::DenseMatrix sys(k, k);
+      Vec rhs(k, 0.0);
+      for (std::size_t rr = 0; rr < k; ++rr) {
+        const std::size_t row = active_rows[rr];
+        const double target = row_state[row] == 1 ? lp.row_lower[row]
+                                                  : lp.row_upper[row];
+        if (!std::isfinite(target)) return;
+        double fixed_part = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (var_state[j] != 0) fixed_part += a_dense(row, j) * x[j];
+        }
+        rhs[rr] = target - fixed_part;
+        for (std::size_t cc = 0; cc < k; ++cc) {
+          sys(rr, cc) = a_dense(row, free_vars[cc]);
+        }
+      }
+      linalg::Lu lu;
+      if (!lu.factor(sys)) return;
+      const Vec xk = lu.solve(rhs);
+      for (std::size_t cc = 0; cc < k; ++cc) x[free_vars[cc]] = xk[cc];
+    }
+    if (max_constraint_violation(lp, x) > 1e-7) return;
+    double obj = 0.0;
+    for (std::size_t j = 0; j < n; ++j) obj += lp.objective[j] * x[j];
+    if (!best || obj < *best) best = obj;
+  };
+
+  // Enumerate all row/variable activity combinations.
+  const std::size_t row_combos = [&] {
+    std::size_t c = 1;
+    for (std::size_t r = 0; r < m; ++r) c *= 3;
+    return c;
+  }();
+  const std::size_t var_combos = [&] {
+    std::size_t c = 1;
+    for (std::size_t j = 0; j < n; ++j) c *= 3;
+    return c;
+  }();
+  for (std::size_t rc = 0; rc < row_combos; ++rc) {
+    std::size_t acc = rc;
+    for (std::size_t r = 0; r < m; ++r) {
+      row_state[r] = static_cast<int>(acc % 3);
+      acc /= 3;
+    }
+    for (std::size_t vc = 0; vc < var_combos; ++vc) {
+      std::size_t acc2 = vc;
+      for (std::size_t j = 0; j < n; ++j) {
+        var_state[j] = static_cast<int>(acc2 % 3);
+        acc2 /= 3;
+      }
+      evaluate_candidate();
+    }
+  }
+  return best;
+}
+
+}  // namespace eca::solve::testing

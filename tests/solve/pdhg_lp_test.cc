@@ -1,0 +1,116 @@
+#include "solve/pdhg_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "solve/ipm_lp.h"
+#include "solve/kkt.h"
+#include "lp_test_util.h"
+
+namespace eca::solve {
+namespace {
+
+using testing::brute_force_optimum;
+using testing::make_random_box_lp;
+
+PdhgOptions tight_options() {
+  PdhgOptions opt;
+  opt.tolerance = 1e-8;
+  return opt;
+}
+
+TEST(PdhgLp, SolvesTrivialSingleVariable) {
+  LpProblem lp;
+  lp.add_variable(1.0, 0.0, kInf);
+  const auto row = lp.add_row_geq(3.0);
+  lp.set_coefficient(row, 0, 1.0);
+  const LpSolution sol = PdhgLp(tight_options()).solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-5);
+}
+
+TEST(PdhgLp, TwoVariableDiet) {
+  LpProblem lp;
+  lp.add_variable(2.0);
+  lp.add_variable(3.0);
+  auto r1 = lp.add_row_geq(4.0);
+  lp.set_coefficient(r1, 0, 1.0);
+  lp.set_coefficient(r1, 1, 1.0);
+  auto r2 = lp.add_row_geq(6.0);
+  lp.set_coefficient(r2, 0, 1.0);
+  lp.set_coefficient(r2, 1, 2.0);
+  const LpSolution sol = PdhgLp(tight_options()).solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 10.0, 1e-4);
+}
+
+TEST(PdhgLp, HandlesEqualityRows) {
+  // min x + y s.t. x + y = 2, x - y >= 0.
+  LpProblem lp;
+  lp.add_variable(1.0);
+  lp.add_variable(1.0);
+  auto r1 = lp.add_row_eq(2.0);
+  lp.set_coefficient(r1, 0, 1.0);
+  lp.set_coefficient(r1, 1, 1.0);
+  auto r2 = lp.add_row_geq(0.0);
+  lp.set_coefficient(r2, 0, 1.0);
+  lp.set_coefficient(r2, 1, -1.0);
+  const LpSolution sol = PdhgLp(tight_options()).solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 2.0, 1e-5);
+}
+
+TEST(PdhgLp, BoundOnlyProblem) {
+  LpProblem lp;
+  lp.add_variable(1.0, 0.5, 2.0);
+  lp.add_variable(-1.0, 0.0, 3.0);
+  const LpSolution sol = PdhgLp().solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(sol.x[1], 3.0, 1e-9);
+}
+
+TEST(PdhgLp, RangeRowGetsSplitCorrectly) {
+  // min -x s.t. 1 <= x <= 2 expressed as a row range on 1*x.
+  LpProblem lp;
+  lp.add_variable(-1.0, 0.0, kInf);
+  auto row = lp.add_row(1.0, 2.0);
+  lp.set_coefficient(row, 0, 1.0);
+  const LpSolution sol = PdhgLp(tight_options()).solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-5);
+}
+
+class PdhgRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdhgRandomLp, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const std::size_t n = 2 + rng.uniform_index(3);
+  const std::size_t m_geq = 1 + rng.uniform_index(2);
+  const std::size_t m_leq = rng.uniform_index(2);
+  const LpProblem lp = make_random_box_lp(rng, n, m_geq, m_leq);
+  const LpSolution sol = PdhgLp(tight_options()).solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  const auto brute = brute_force_optimum(lp);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_NEAR(sol.objective_value, *brute, 1e-4 * (1.0 + std::abs(*brute)));
+}
+
+TEST_P(PdhgRandomLp, AgreesWithInteriorPointOnMediumProblems) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 101);
+  const std::size_t n = 10 + rng.uniform_index(30);
+  const LpProblem lp = make_random_box_lp(rng, n, 6, 4);
+  const LpSolution ipm = InteriorPointLp().solve(lp);
+  PdhgOptions opt;  // production tolerance for a first-order method
+  opt.tolerance = 1e-6;
+  const LpSolution pdhg = PdhgLp(opt).solve(lp);
+  ASSERT_EQ(ipm.status, SolveStatus::kOptimal);
+  ASSERT_EQ(pdhg.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(pdhg.objective_value, ipm.objective_value,
+              1e-4 * (1.0 + std::abs(ipm.objective_value)));
+  EXPECT_LT(max_constraint_violation(lp, pdhg.x), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdhgRandomLp, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace eca::solve

@@ -1,0 +1,254 @@
+#include "solve/regularized_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "solve/ipm_lp.h"
+#include "solve/kkt.h"
+
+namespace eca::solve {
+namespace {
+
+// Builds a random, well-posed P2 instance. Capacity totals 1.25x demand as
+// in the paper's experimental setup.
+RegularizedProblem make_random_problem(Rng& rng, std::size_t num_clouds,
+                                       std::size_t num_users,
+                                       bool with_prev = true) {
+  RegularizedProblem p;
+  p.num_clouds = num_clouds;
+  p.num_users = num_users;
+  p.demand.resize(num_users);
+  for (auto& d : p.demand) d = static_cast<double>(rng.uniform_int(1, 5));
+  const double total_demand = linalg::sum(p.demand);
+  p.capacity.assign(num_clouds, 0.0);
+  Vec weights(num_clouds);
+  double wsum = 0.0;
+  for (auto& w : weights) {
+    w = rng.uniform(0.5, 2.0);
+    wsum += w;
+  }
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    p.capacity[i] = 1.25 * total_demand * weights[i] / wsum;
+  }
+  p.linear_cost.resize(num_clouds * num_users);
+  for (auto& v : p.linear_cost) v = rng.uniform(0.5, 3.0);
+  p.recon_price.resize(num_clouds);
+  for (auto& v : p.recon_price) v = rng.uniform(0.0, 2.0);
+  p.migration_price.resize(num_clouds);
+  for (auto& v : p.migration_price) v = rng.uniform(0.0, 2.0);
+  p.prev.assign(num_clouds * num_users, 0.0);
+  if (with_prev) {
+    for (std::size_t j = 0; j < num_users; ++j) {
+      // Previous slot: the demand parked on a random cloud.
+      const std::size_t i = rng.uniform_index(num_clouds);
+      p.prev[p.index(i, j)] = p.demand[j];
+    }
+  }
+  p.eps1 = 1.0;
+  p.eps2 = 1.0;
+  return p;
+}
+
+TEST(RegularizedProblem, ObjectiveAndGradientAreConsistent) {
+  Rng rng(42);
+  const RegularizedProblem p = make_random_problem(rng, 3, 4);
+  Vec x(p.num_clouds * p.num_users);
+  for (auto& v : x) v = rng.uniform(0.5, 2.0);
+  const Vec grad = p.gradient(x);
+  // Central finite differences.
+  const double h = 1e-6;
+  for (std::size_t idx = 0; idx < x.size(); ++idx) {
+    Vec xp = x, xm = x;
+    xp[idx] += h;
+    xm[idx] -= h;
+    const double fd = (p.objective(xp) - p.objective(xm)) / (2.0 * h);
+    EXPECT_NEAR(grad[idx], fd, 1e-5 * (1.0 + std::abs(fd))) << "idx " << idx;
+  }
+}
+
+TEST(RegularizedProblem, RegularizerVanishesAtPreviousAllocation) {
+  // With zero linear cost, the objective's minimum over the regularizers
+  // alone is at x = prev; objective(prev) = -sum of terms linear in prev.
+  Rng rng(7);
+  RegularizedProblem p = make_random_problem(rng, 2, 3);
+  std::fill(p.linear_cost.begin(), p.linear_cost.end(), 0.0);
+  const Vec grad = p.gradient(p.prev);
+  for (double g : grad) EXPECT_NEAR(g, 0.0, 1e-12);
+}
+
+TEST(RegularizedSolver, SatisfiesConstraintsOnRandomInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const RegularizedProblem p = make_random_problem(rng, 4, 6);
+    const RegularizedSolution sol = RegularizedSolver().solve(p);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    // Demand.
+    for (std::size_t j = 0; j < p.num_users; ++j) {
+      double served = 0.0;
+      for (std::size_t i = 0; i < p.num_clouds; ++i) {
+        served += sol.x[p.index(i, j)];
+        EXPECT_GE(sol.x[p.index(i, j)], 0.0);
+      }
+      EXPECT_GE(served, p.demand[j] - 1e-6);
+    }
+  }
+}
+
+TEST(RegularizedSolver, CapacityHoldsAcrossSlots) {
+  // With the (default) explicit capacity rows, aggregate allocation per
+  // cloud never exceeds capacity across a chain of slots.
+  Rng rng(3);
+  RegularizedProblem p = make_random_problem(rng, 4, 6, /*with_prev=*/false);
+  RegularizedSolver solver;
+  for (int slot = 0; slot < 4; ++slot) {
+    // Perturb prices across slots.
+    for (auto& v : p.linear_cost) v = rng.uniform(0.5, 3.0);
+    const RegularizedSolution sol = solver.solve(p);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    for (std::size_t i = 0; i < p.num_clouds; ++i) {
+      double agg = 0.0;
+      for (std::size_t j = 0; j < p.num_users; ++j) agg += sol.x[p.index(i, j)];
+      EXPECT_LE(agg, p.capacity[i] + 1e-5 * (1.0 + p.capacity[i]))
+          << "slot " << slot << " cloud " << i;
+    }
+    p.prev = sol.x;
+  }
+}
+
+class RegularizedKkt : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegularizedKkt, KktResidualsAreSmall) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
+  const std::size_t num_clouds = 2 + rng.uniform_index(5);
+  const std::size_t num_users = 1 + rng.uniform_index(8);
+  const RegularizedProblem p = make_random_problem(rng, num_clouds, num_users);
+  const RegularizedSolution sol = RegularizedSolver().solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  const KktReport kkt = check_regularized_kkt(p, sol);
+  EXPECT_LT(kkt.primal_infeasibility, 1e-8);
+  EXPECT_LT(kkt.dual_infeasibility, 1e-10);
+  EXPECT_LT(kkt.stationarity, 5e-5);
+  EXPECT_LT(kkt.complementarity, 5e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegularizedKkt, ::testing::Range(0, 30));
+
+TEST(RegularizedSolver, ReducesToStaticLpWithoutRegularizers) {
+  // With c = b = 0 the subproblem is the static LP; compare objectives.
+  Rng rng(11);
+  RegularizedProblem p = make_random_problem(rng, 3, 5);
+  std::fill(p.recon_price.begin(), p.recon_price.end(), 0.0);
+  std::fill(p.migration_price.begin(), p.migration_price.end(), 0.0);
+  const RegularizedSolution sol = RegularizedSolver().solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+
+  LpProblem lp;
+  for (std::size_t idx = 0; idx < p.linear_cost.size(); ++idx) {
+    lp.add_variable(p.linear_cost[idx]);
+  }
+  const double lambda_total = p.total_demand();
+  for (std::size_t j = 0; j < p.num_users; ++j) {
+    const auto row = lp.add_row_geq(p.demand[j]);
+    for (std::size_t i = 0; i < p.num_clouds; ++i) {
+      lp.set_coefficient(row, p.index(i, j), 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < p.num_clouds; ++i) {
+    const auto row = lp.add_row_geq(lambda_total - p.capacity[i]);
+    for (std::size_t k = 0; k < p.num_clouds; ++k) {
+      if (k == i) continue;
+      for (std::size_t j = 0; j < p.num_users; ++j) {
+        lp.set_coefficient(row, p.index(k, j), 1.0);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < p.num_clouds; ++i) {
+    const auto row = lp.add_row_leq(p.capacity[i]);
+    for (std::size_t j = 0; j < p.num_users; ++j) {
+      lp.set_coefficient(row, p.index(i, j), 1.0);
+    }
+  }
+  const LpSolution lp_sol = InteriorPointLp().solve(lp);
+  ASSERT_EQ(lp_sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, lp_sol.objective_value,
+              1e-4 * (1.0 + std::abs(lp_sol.objective_value)));
+}
+
+TEST(RegularizedSolver, PaperPureModeMayExceedCapacity) {
+  // Documented behaviour of the paper-pure formulation (no explicit
+  // capacity rows): demand and non-negativity still hold, and the solver
+  // succeeds; capacity can be (mildly) exceeded when dynamic prices
+  // dominate, which is why enforce_capacity defaults to true.
+  Rng rng(3);
+  RegularizedProblem p = make_random_problem(rng, 4, 6, /*with_prev=*/false);
+  p.enforce_capacity = false;
+  RegularizedSolver solver;
+  for (int slot = 0; slot < 4; ++slot) {
+    for (auto& v : p.linear_cost) v = rng.uniform(0.5, 3.0);
+    const RegularizedSolution sol = solver.solve(p);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    for (std::size_t j = 0; j < p.num_users; ++j) {
+      double served = 0.0;
+      for (std::size_t i = 0; i < p.num_clouds; ++i) {
+        served += sol.x[p.index(i, j)];
+      }
+      EXPECT_GE(served, p.demand[j] - 1e-6);
+    }
+    p.prev = sol.x;
+  }
+}
+
+TEST(RegularizedSolver, LargeMigrationPriceKeepsAllocationNearPrevious) {
+  Rng rng(5);
+  RegularizedProblem p = make_random_problem(rng, 3, 4);
+  // Previous allocation spread capacity-proportionally: feasible for both
+  // demand and capacity, so the huge regularizer pins the solution to it.
+  const double total_cap = linalg::sum(p.capacity);
+  for (std::size_t i = 0; i < p.num_clouds; ++i) {
+    for (std::size_t j = 0; j < p.num_users; ++j) {
+      p.prev[p.index(i, j)] = p.demand[j] * p.capacity[i] / total_cap;
+    }
+  }
+  std::fill(p.migration_price.begin(), p.migration_price.end(), 1e5);
+  std::fill(p.recon_price.begin(), p.recon_price.end(), 1e5);
+  const RegularizedSolution sol = RegularizedSolver().solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  for (std::size_t idx = 0; idx < sol.x.size(); ++idx) {
+    EXPECT_NEAR(sol.x[idx], p.prev[idx], 0.05 * (1.0 + p.prev[idx]))
+        << "idx " << idx;
+  }
+}
+
+TEST(RegularizedSolver, SingleCloudFeasibleAndInfeasible) {
+  Rng rng(9);
+  RegularizedProblem p = make_random_problem(rng, 1, 3);
+  p.capacity[0] = p.total_demand() + 1.0;
+  const RegularizedSolution ok = RegularizedSolver().solve(p);
+  EXPECT_EQ(ok.status, SolveStatus::kOptimal);
+  p.capacity[0] = p.total_demand() - 1.0;
+  const RegularizedSolution bad = RegularizedSolver().solve(p);
+  EXPECT_EQ(bad.status, SolveStatus::kPrimalInfeasible);
+}
+
+class RegularizedEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegularizedEpsSweep, SolverIsRobustAcrossEpsilonScales) {
+  Rng rng(21);
+  RegularizedProblem p = make_random_problem(rng, 3, 4);
+  p.eps1 = GetParam();
+  p.eps2 = GetParam();
+  const RegularizedSolution sol = RegularizedSolver().solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "eps " << GetParam();
+  const KktReport kkt = check_regularized_kkt(p, sol);
+  EXPECT_LT(kkt.stationarity, 1e-4) << "eps " << GetParam();
+  EXPECT_LT(kkt.primal_infeasibility, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, RegularizedEpsSweep,
+                         ::testing::Values(1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2,
+                                           1e3));
+
+}  // namespace
+}  // namespace eca::solve

@@ -1,0 +1,98 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace eca::workload {
+namespace {
+
+class WorkloadDistributions : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(WorkloadDistributions, DemandsAreIntegersAtLeastOne) {
+  Rng rng(7);
+  WorkloadOptions options;
+  options.distribution = GetParam();
+  const auto demands = generate_demands(rng, 5000, options);
+  ASSERT_EQ(demands.size(), 5000u);
+  for (double d : demands) {
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, options.max_demand);
+    EXPECT_DOUBLE_EQ(d, std::round(d));
+  }
+}
+
+TEST_P(WorkloadDistributions, MeanIsInTheRightBallpark) {
+  Rng rng(11);
+  WorkloadOptions options;
+  options.distribution = GetParam();
+  options.mean = 4.0;
+  const auto demands = generate_demands(rng, 20000, options);
+  const double mean = mean_of(demands);
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 6.0);
+}
+
+TEST_P(WorkloadDistributions, DeterministicBySeed) {
+  WorkloadOptions options;
+  options.distribution = GetParam();
+  Rng a(3), b(3);
+  EXPECT_EQ(generate_demands(a, 100, options),
+            generate_demands(b, 100, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadDistributions,
+                         ::testing::Values(Distribution::kPower,
+                                           Distribution::kUniform,
+                                           Distribution::kNormal));
+
+TEST(Workload, PowerHasHeavierTailThanUniform) {
+  Rng rng(13);
+  WorkloadOptions power;
+  power.distribution = Distribution::kPower;
+  WorkloadOptions uniform;
+  uniform.distribution = Distribution::kUniform;
+  const auto p = generate_demands(rng, 20000, power);
+  const auto u = generate_demands(rng, 20000, uniform);
+  const auto tail_count = [](const std::vector<double>& xs, double cut) {
+    return std::count_if(xs.begin(), xs.end(),
+                         [cut](double v) { return v >= cut; });
+  };
+  // Above 3x the mean, the power distribution has far more mass.
+  EXPECT_GT(tail_count(p, 12.0), 4 * tail_count(u, 12.0));
+}
+
+TEST(Workload, UniformCoversItsSupport) {
+  Rng rng(17);
+  WorkloadOptions options;
+  options.distribution = Distribution::kUniform;
+  options.mean = 4.0;  // support {1..7}
+  const auto demands = generate_demands(rng, 5000, options);
+  const double lo = *std::min_element(demands.begin(), demands.end());
+  const double hi = *std::max_element(demands.begin(), demands.end());
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 7.0);
+}
+
+TEST(Workload, CapIsEnforcedOnPower) {
+  Rng rng(19);
+  WorkloadOptions options;
+  options.distribution = Distribution::kPower;
+  options.mean = 8.0;
+  options.max_demand = 10.0;
+  const auto demands = generate_demands(rng, 5000, options);
+  for (double d : demands) EXPECT_LE(d, 10.0);
+}
+
+TEST(Workload, StringRoundTrip) {
+  EXPECT_EQ(distribution_from_string("power"), Distribution::kPower);
+  EXPECT_EQ(distribution_from_string("uniform"), Distribution::kUniform);
+  EXPECT_EQ(distribution_from_string("normal"), Distribution::kNormal);
+  EXPECT_STREQ(to_string(Distribution::kNormal), "normal");
+}
+
+}  // namespace
+}  // namespace eca::workload
