@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_realworld"
+  "../bench/bench_fig2_realworld.pdb"
+  "CMakeFiles/bench_fig2_realworld.dir/bench_fig2_realworld.cc.o"
+  "CMakeFiles/bench_fig2_realworld.dir/bench_fig2_realworld.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_workloads"
+  "../bench/bench_fig3_workloads.pdb"
+  "CMakeFiles/bench_fig3_workloads.dir/bench_fig3_workloads.cc.o"
+  "CMakeFiles/bench_fig3_workloads.dir/bench_fig3_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

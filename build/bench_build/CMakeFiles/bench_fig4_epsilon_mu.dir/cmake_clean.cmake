@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_epsilon_mu"
+  "../bench/bench_fig4_epsilon_mu.pdb"
+  "CMakeFiles/bench_fig4_epsilon_mu.dir/bench_fig4_epsilon_mu.cc.o"
+  "CMakeFiles/bench_fig4_epsilon_mu.dir/bench_fig4_epsilon_mu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_epsilon_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_randomwalk"
+  "../bench/bench_fig5_randomwalk.pdb"
+  "CMakeFiles/bench_fig5_randomwalk.dir/bench_fig5_randomwalk.cc.o"
+  "CMakeFiles/bench_fig5_randomwalk.dir/bench_fig5_randomwalk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_randomwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_spike.dir/price_spike.cpp.o"
+  "CMakeFiles/price_spike.dir/price_spike.cpp.o.d"
+  "price_spike"
+  "price_spike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

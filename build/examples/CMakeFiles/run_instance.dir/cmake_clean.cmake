@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_instance.dir/run_instance.cpp.o"
+  "CMakeFiles/run_instance.dir/run_instance.cpp.o.d"
+  "run_instance"
+  "run_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_day.dir/taxi_day.cpp.o"
+  "CMakeFiles/taxi_day.dir/taxi_day.cpp.o.d"
+  "taxi_day"
+  "taxi_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

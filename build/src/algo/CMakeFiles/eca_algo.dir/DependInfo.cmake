@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/baselines.cc" "src/algo/CMakeFiles/eca_algo.dir/baselines.cc.o" "gcc" "src/algo/CMakeFiles/eca_algo.dir/baselines.cc.o.d"
+  "/root/repo/src/algo/certificate.cc" "src/algo/CMakeFiles/eca_algo.dir/certificate.cc.o" "gcc" "src/algo/CMakeFiles/eca_algo.dir/certificate.cc.o.d"
+  "/root/repo/src/algo/extensions.cc" "src/algo/CMakeFiles/eca_algo.dir/extensions.cc.o" "gcc" "src/algo/CMakeFiles/eca_algo.dir/extensions.cc.o.d"
+  "/root/repo/src/algo/offline.cc" "src/algo/CMakeFiles/eca_algo.dir/offline.cc.o" "gcc" "src/algo/CMakeFiles/eca_algo.dir/offline.cc.o.d"
+  "/root/repo/src/algo/online_approx.cc" "src/algo/CMakeFiles/eca_algo.dir/online_approx.cc.o" "gcc" "src/algo/CMakeFiles/eca_algo.dir/online_approx.cc.o.d"
+  "/root/repo/src/algo/slot_lp.cc" "src/algo/CMakeFiles/eca_algo.dir/slot_lp.cc.o" "gcc" "src/algo/CMakeFiles/eca_algo.dir/slot_lp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/eca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/solve/CMakeFiles/eca_solve.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eca_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_algo.dir/baselines.cc.o"
+  "CMakeFiles/eca_algo.dir/baselines.cc.o.d"
+  "CMakeFiles/eca_algo.dir/certificate.cc.o"
+  "CMakeFiles/eca_algo.dir/certificate.cc.o.d"
+  "CMakeFiles/eca_algo.dir/extensions.cc.o"
+  "CMakeFiles/eca_algo.dir/extensions.cc.o.d"
+  "CMakeFiles/eca_algo.dir/offline.cc.o"
+  "CMakeFiles/eca_algo.dir/offline.cc.o.d"
+  "CMakeFiles/eca_algo.dir/online_approx.cc.o"
+  "CMakeFiles/eca_algo.dir/online_approx.cc.o.d"
+  "CMakeFiles/eca_algo.dir/slot_lp.cc.o"
+  "CMakeFiles/eca_algo.dir/slot_lp.cc.o.d"
+  "libeca_algo.a"
+  "libeca_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

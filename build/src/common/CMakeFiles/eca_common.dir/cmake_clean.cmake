@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_common.dir/env.cc.o"
+  "CMakeFiles/eca_common.dir/env.cc.o.d"
+  "CMakeFiles/eca_common.dir/table.cc.o"
+  "CMakeFiles/eca_common.dir/table.cc.o.d"
+  "libeca_common.a"
+  "libeca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

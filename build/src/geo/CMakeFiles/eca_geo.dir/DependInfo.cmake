@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo.cc" "src/geo/CMakeFiles/eca_geo.dir/geo.cc.o" "gcc" "src/geo/CMakeFiles/eca_geo.dir/geo.cc.o.d"
+  "/root/repo/src/geo/metro.cc" "src/geo/CMakeFiles/eca_geo.dir/metro.cc.o" "gcc" "src/geo/CMakeFiles/eca_geo.dir/metro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

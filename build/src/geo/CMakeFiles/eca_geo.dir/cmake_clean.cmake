@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_geo.dir/geo.cc.o"
+  "CMakeFiles/eca_geo.dir/geo.cc.o.d"
+  "CMakeFiles/eca_geo.dir/metro.cc.o"
+  "CMakeFiles/eca_geo.dir/metro.cc.o.d"
+  "libeca_geo.a"
+  "libeca_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_io.dir/serialize.cc.o"
+  "CMakeFiles/eca_io.dir/serialize.cc.o.d"
+  "libeca_io.a"
+  "libeca_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

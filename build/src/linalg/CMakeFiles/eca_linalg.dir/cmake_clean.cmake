@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_linalg.dir/dense_matrix.cc.o"
+  "CMakeFiles/eca_linalg.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/eca_linalg.dir/sparse_matrix.cc.o"
+  "CMakeFiles/eca_linalg.dir/sparse_matrix.cc.o.d"
+  "libeca_linalg.a"
+  "libeca_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_mobility.dir/mobility.cc.o"
+  "CMakeFiles/eca_mobility.dir/mobility.cc.o.d"
+  "libeca_mobility.a"
+  "libeca_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

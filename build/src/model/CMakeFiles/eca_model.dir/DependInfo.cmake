@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/costs.cc" "src/model/CMakeFiles/eca_model.dir/costs.cc.o" "gcc" "src/model/CMakeFiles/eca_model.dir/costs.cc.o.d"
+  "/root/repo/src/model/instance.cc" "src/model/CMakeFiles/eca_model.dir/instance.cc.o" "gcc" "src/model/CMakeFiles/eca_model.dir/instance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/eca_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

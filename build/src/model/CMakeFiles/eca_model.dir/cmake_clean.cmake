@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_model.dir/costs.cc.o"
+  "CMakeFiles/eca_model.dir/costs.cc.o.d"
+  "CMakeFiles/eca_model.dir/instance.cc.o"
+  "CMakeFiles/eca_model.dir/instance.cc.o.d"
+  "libeca_model.a"
+  "libeca_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

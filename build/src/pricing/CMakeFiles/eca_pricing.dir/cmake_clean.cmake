@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_pricing.dir/pricing.cc.o"
+  "CMakeFiles/eca_pricing.dir/pricing.cc.o.d"
+  "libeca_pricing.a"
+  "libeca_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeca_pricing.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_sim.dir/paper_examples.cc.o"
+  "CMakeFiles/eca_sim.dir/paper_examples.cc.o.d"
+  "CMakeFiles/eca_sim.dir/runner.cc.o"
+  "CMakeFiles/eca_sim.dir/runner.cc.o.d"
+  "CMakeFiles/eca_sim.dir/scenario.cc.o"
+  "CMakeFiles/eca_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/eca_sim.dir/simulator.cc.o"
+  "CMakeFiles/eca_sim.dir/simulator.cc.o.d"
+  "libeca_sim.a"
+  "libeca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

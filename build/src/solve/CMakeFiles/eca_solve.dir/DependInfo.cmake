@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solve/ipm_lp.cc" "src/solve/CMakeFiles/eca_solve.dir/ipm_lp.cc.o" "gcc" "src/solve/CMakeFiles/eca_solve.dir/ipm_lp.cc.o.d"
+  "/root/repo/src/solve/kkt.cc" "src/solve/CMakeFiles/eca_solve.dir/kkt.cc.o" "gcc" "src/solve/CMakeFiles/eca_solve.dir/kkt.cc.o.d"
+  "/root/repo/src/solve/lp_problem.cc" "src/solve/CMakeFiles/eca_solve.dir/lp_problem.cc.o" "gcc" "src/solve/CMakeFiles/eca_solve.dir/lp_problem.cc.o.d"
+  "/root/repo/src/solve/pdhg_lp.cc" "src/solve/CMakeFiles/eca_solve.dir/pdhg_lp.cc.o" "gcc" "src/solve/CMakeFiles/eca_solve.dir/pdhg_lp.cc.o.d"
+  "/root/repo/src/solve/regularized_solver.cc" "src/solve/CMakeFiles/eca_solve.dir/regularized_solver.cc.o" "gcc" "src/solve/CMakeFiles/eca_solve.dir/regularized_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/eca_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

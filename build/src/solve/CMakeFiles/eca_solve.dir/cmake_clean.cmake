@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_solve.dir/ipm_lp.cc.o"
+  "CMakeFiles/eca_solve.dir/ipm_lp.cc.o.d"
+  "CMakeFiles/eca_solve.dir/kkt.cc.o"
+  "CMakeFiles/eca_solve.dir/kkt.cc.o.d"
+  "CMakeFiles/eca_solve.dir/lp_problem.cc.o"
+  "CMakeFiles/eca_solve.dir/lp_problem.cc.o.d"
+  "CMakeFiles/eca_solve.dir/pdhg_lp.cc.o"
+  "CMakeFiles/eca_solve.dir/pdhg_lp.cc.o.d"
+  "CMakeFiles/eca_solve.dir/regularized_solver.cc.o"
+  "CMakeFiles/eca_solve.dir/regularized_solver.cc.o.d"
+  "libeca_solve.a"
+  "libeca_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_workload.dir/workload.cc.o"
+  "CMakeFiles/eca_workload.dir/workload.cc.o.d"
+  "libeca_workload.a"
+  "libeca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo.dir/algo/algorithms_test.cc.o"
+  "CMakeFiles/test_algo.dir/algo/algorithms_test.cc.o.d"
+  "CMakeFiles/test_algo.dir/algo/certificate_test.cc.o"
+  "CMakeFiles/test_algo.dir/algo/certificate_test.cc.o.d"
+  "CMakeFiles/test_algo.dir/algo/extensions_test.cc.o"
+  "CMakeFiles/test_algo.dir/algo/extensions_test.cc.o.d"
+  "CMakeFiles/test_algo.dir/algo/offline_test.cc.o"
+  "CMakeFiles/test_algo.dir/algo/offline_test.cc.o.d"
+  "CMakeFiles/test_algo.dir/algo/slot_lp_test.cc.o"
+  "CMakeFiles/test_algo.dir/algo/slot_lp_test.cc.o.d"
+  "test_algo"
+  "test_algo.pdb"
+  "test_algo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solve.dir/solve/ipm_lp_test.cc.o"
+  "CMakeFiles/test_solve.dir/solve/ipm_lp_test.cc.o.d"
+  "CMakeFiles/test_solve.dir/solve/lp_problem_test.cc.o"
+  "CMakeFiles/test_solve.dir/solve/lp_problem_test.cc.o.d"
+  "CMakeFiles/test_solve.dir/solve/pdhg_lp_test.cc.o"
+  "CMakeFiles/test_solve.dir/solve/pdhg_lp_test.cc.o.d"
+  "CMakeFiles/test_solve.dir/solve/regularized_solver_test.cc.o"
+  "CMakeFiles/test_solve.dir/solve/regularized_solver_test.cc.o.d"
+  "test_solve"
+  "test_solve.pdb"
+  "test_solve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
