@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/env.h"
@@ -27,12 +28,33 @@ struct BenchScale {
   bool csv;
 };
 
+// Exits with a clear message when a scale knob is nonsensical (0 users, 0
+// slots, non-positive repetitions, negative seed): a silent cast would
+// otherwise produce empty experiments or a 2^64-sized loop bound.
+inline std::int64_t read_positive_scale_knob(const char* name,
+                                             std::int64_t fallback,
+                                             std::int64_t minimum) {
+  const std::int64_t value = env_int(name, fallback);
+  if (value < minimum) {
+    std::fprintf(stderr,
+                 "error: %s=%lld is out of range (must be >= %lld)\n", name,
+                 static_cast<long long>(value),
+                 static_cast<long long>(minimum));
+    std::exit(2);
+  }
+  return value;
+}
+
 inline BenchScale read_scale() {
   BenchScale scale;
-  scale.users = static_cast<std::size_t>(env_int("ECA_USERS", 30));
-  scale.slots = static_cast<std::size_t>(env_int("ECA_SLOTS", 48));
-  scale.repetitions = static_cast<int>(env_int("ECA_REPS", 2));
-  scale.seed = static_cast<std::uint64_t>(env_int("ECA_SEED", 1));
+  scale.users =
+      static_cast<std::size_t>(read_positive_scale_knob("ECA_USERS", 30, 1));
+  scale.slots =
+      static_cast<std::size_t>(read_positive_scale_knob("ECA_SLOTS", 48, 1));
+  scale.repetitions =
+      static_cast<int>(read_positive_scale_knob("ECA_REPS", 2, 1));
+  scale.seed =
+      static_cast<std::uint64_t>(read_positive_scale_knob("ECA_SEED", 1, 0));
   scale.csv = env_bool("ECA_CSV", false);
   return scale;
 }

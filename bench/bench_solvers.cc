@@ -1,12 +1,27 @@
-// Solver microbenchmarks (google-benchmark): scaling of the three solvers
-// that replace IPOPT/GLPK in this reproduction —
-//  * InteriorPointLp on random dense-ish LPs,
-//  * PdhgLp on the same family,
-//  * RegularizedSolver (the P2 primal-dual method) on growing I x J, which
-//    bounds the per-slot latency of the online algorithm.
+// Solver microbenchmarks + the repo's performance trajectory harness.
+//
+// Always runs a timing pass and emits `BENCH_solvers.json` (path override:
+// ECA_BENCH_JSON) so future PRs have numbers to regress against:
+//  * Newton hot path — a slot sequence of P2 solves with a reused
+//    NewtonWorkspace (the OnlineApprox inner loop): slots/sec, Newton
+//    iterations, ns per Newton iteration.
+//  * Experiment runner — run_experiment at the ECA_* default scale with 1
+//    thread vs ECA_THREADS (default: hardware concurrency): wall seconds,
+//    speedup, and a bit-identical check on the merged statistics.
+//
+// The original google-benchmark suite (InteriorPointLp / PdhgLp /
+// RegularizedSolver scaling) still runs when ECA_GBENCH=1.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "algo/baselines.h"
+#include "algo/online_approx.h"
+#include "bench_common.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "solve/ipm_lp.h"
 #include "solve/pdhg_lp.h"
 #include "solve/regularized_solver.h"
@@ -94,6 +109,172 @@ void BM_RegularizedSolver(benchmark::State& state) {
 // 15 clouds as in the paper; users span CI to paper scale (~300).
 BENCHMARK(BM_RegularizedSolver)->Arg(30)->Arg(100)->Arg(300);
 
+// ---------------------------------------------------------------------------
+// BENCH_solvers.json harness
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct NewtonPerf {
+  std::size_t clouds = 0;
+  std::size_t users = 0;
+  std::size_t slots_solved = 0;
+  long long newton_iterations = 0;
+  double seconds = 0.0;
+};
+
+// The OnlineApprox inner loop in isolation: a slot sequence of same-shaped
+// P2 solves, each warm-started from the previous optimum, with a reused
+// workspace (zero allocations in the Newton loop after slot 0).
+NewtonPerf time_newton_path(const bench::BenchScale& scale) {
+  NewtonPerf perf;
+  perf.clouds = 15;  // the paper's Rome deployment size
+  perf.users = scale.users;
+  Rng rng(scale.seed);
+  RegularizedProblem p = random_p2(rng, perf.clouds, perf.users);
+  RegularizedSolver solver;
+  NewtonWorkspace ws;
+  (void)solver.solve(p, ws);  // warm-up: workspace sizing, caches
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < scale.slots; ++t) {
+    const RegularizedSolution sol = solver.solve(p, ws);
+    perf.newton_iterations += sol.newton_iterations;
+    ++perf.slots_solved;
+    p.prev = sol.x;  // next slot continues the path
+  }
+  perf.seconds = seconds_since(start);
+  return perf;
+}
+
+bool stats_bit_identical(const RunningStats& a, const RunningStats& b) {
+  return a.count() == b.count() && a.mean() == b.mean() &&
+         a.variance() == b.variance() && a.min() == b.min() &&
+         a.max() == b.max();
+}
+
+bool results_bit_identical(const sim::ExperimentResult& a,
+                           const sim::ExperimentResult& b) {
+  if (!stats_bit_identical(a.offline_cost, b.offline_cost)) return false;
+  if (a.algorithms.size() != b.algorithms.size()) return false;
+  for (std::size_t i = 0; i < a.algorithms.size(); ++i) {
+    const auto& sa = a.algorithms[i];
+    const auto& sb = b.algorithms[i];
+    if (sa.name != sb.name) return false;
+    if (!stats_bit_identical(sa.ratio, sb.ratio)) return false;
+    if (!stats_bit_identical(sa.absolute_cost, sb.absolute_cost)) return false;
+    if (sa.worst_violation != sb.worst_violation) return false;
+  }
+  return true;
+}
+
+struct RunnerPerf {
+  std::size_t threads = 1;
+  double seconds_one_thread = 0.0;
+  double seconds_n_threads = 0.0;
+  bool bit_identical = false;
+};
+
+RunnerPerf time_runner(const bench::BenchScale& scale) {
+  RunnerPerf perf;
+  perf.threads = ThreadPool::resolve_threads(0);
+  const auto make_instance = [&scale](int rep) {
+    sim::ScenarioOptions options = bench::scenario_from_scale(scale);
+    options.seed = scale.seed + 1000 * static_cast<std::uint64_t>(rep);
+    return sim::make_random_walk_instance(options);
+  };
+  const auto roster = sim::paper_algorithms();
+  sim::ExperimentOptions experiment;
+  experiment.repetitions = scale.repetitions;
+
+  experiment.threads = 1;
+  auto start = std::chrono::steady_clock::now();
+  const sim::ExperimentResult serial =
+      sim::run_experiment(make_instance, roster, experiment);
+  perf.seconds_one_thread = seconds_since(start);
+
+  experiment.threads = static_cast<int>(perf.threads);
+  start = std::chrono::steady_clock::now();
+  const sim::ExperimentResult parallel =
+      sim::run_experiment(make_instance, roster, experiment);
+  perf.seconds_n_threads = seconds_since(start);
+
+  perf.bit_identical = results_bit_identical(serial, parallel);
+  return perf;
+}
+
+void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
+               const RunnerPerf& runner) {
+  const std::string path = env_string("ECA_BENCH_JSON", "BENCH_solvers.json");
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const double ns_per_iter =
+      newton.newton_iterations > 0
+          ? newton.seconds * 1e9 / static_cast<double>(newton.newton_iterations)
+          : 0.0;
+  const double slots_per_sec =
+      newton.seconds > 0.0
+          ? static_cast<double>(newton.slots_solved) / newton.seconds
+          : 0.0;
+  const double speedup = runner.seconds_n_threads > 0.0
+                             ? runner.seconds_one_thread /
+                                   runner.seconds_n_threads
+                             : 0.0;
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"eca.bench_solvers.v1\",\n");
+  std::fprintf(out,
+               "  \"scale\": {\"users\": %zu, \"slots\": %zu, "
+               "\"repetitions\": %d, \"seed\": %llu},\n",
+               scale.users, scale.slots, scale.repetitions,
+               static_cast<unsigned long long>(scale.seed));
+  std::fprintf(out,
+               "  \"newton\": {\"clouds\": %zu, \"users\": %zu, "
+               "\"slots_solved\": %zu, \"newton_iterations\": %lld, "
+               "\"seconds\": %.6f, \"slots_per_sec\": %.2f, "
+               "\"ns_per_iteration\": %.1f},\n",
+               newton.clouds, newton.users, newton.slots_solved,
+               newton.newton_iterations, newton.seconds, slots_per_sec,
+               ns_per_iter);
+  std::fprintf(out,
+               "  \"runner\": {\"threads\": %zu, \"seconds_1_thread\": %.4f, "
+               "\"seconds_n_threads\": %.4f, \"speedup\": %.3f, "
+               "\"bit_identical\": %s}\n",
+               runner.threads, runner.seconds_one_thread,
+               runner.seconds_n_threads, speedup,
+               runner.bit_identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  std::printf("newton: %zu slots, %lld iters, %.1f slots/sec, %.0f ns/iter\n",
+              newton.slots_solved, newton.newton_iterations, slots_per_sec,
+              ns_per_iter);
+  std::printf("runner: %zu threads, %.2fs -> %.2fs (%.2fx), bit_identical=%s\n",
+              runner.threads, runner.seconds_one_thread,
+              runner.seconds_n_threads, speedup,
+              runner.bit_identical ? "true" : "false");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const eca::bench::BenchScale scale = eca::bench::read_scale();
+  eca::bench::print_header("solvers", "perf trajectory harness", scale);
+
+  const NewtonPerf newton = time_newton_path(scale);
+  const RunnerPerf runner = time_runner(scale);
+  emit_json(scale, newton, runner);
+
+  if (eca::env_bool("ECA_GBENCH", false)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

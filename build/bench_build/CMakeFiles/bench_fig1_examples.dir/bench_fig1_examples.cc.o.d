@@ -226,7 +226,15 @@ bench_build/CMakeFiles/bench_fig1_examples.dir/bench_fig1_examples.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/solve/ipm_lp.h /root/repo/src/solve/lp_problem.h \
  /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/linalg/dense_matrix.h /root/repo/src/algo/offline.h \
- /root/repo/src/algo/online_approx.h /root/repo/src/algo/certificate.h \
+ /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/algo/offline.h /root/repo/src/algo/online_approx.h \
+ /root/repo/src/algo/certificate.h \
  /root/repo/src/solve/regularized_solver.h /root/repo/src/common/table.h \
  /root/repo/src/sim/paper_examples.h /root/repo/src/sim/simulator.h

@@ -242,11 +242,12 @@ bench_build/CMakeFiles/bench_fig2_realworld.dir/bench_fig2_realworld.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/algo/offline.h /root/repo/src/solve/lp_problem.h \
  /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/linalg/dense_matrix.h /root/repo/src/common/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/scenario.h \
- /root/repo/src/geo/metro.h /root/repo/src/geo/geo.h \
- /root/repo/src/mobility/mobility.h /root/repo/src/common/rng.h \
- /root/repo/src/pricing/pricing.h /root/repo/src/workload/workload.h
+ /root/repo/src/common/stats.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/scenario.h /root/repo/src/geo/metro.h \
+ /root/repo/src/geo/geo.h /root/repo/src/mobility/mobility.h \
+ /root/repo/src/common/rng.h /root/repo/src/pricing/pricing.h \
+ /root/repo/src/workload/workload.h

@@ -226,8 +226,15 @@ bench_build/CMakeFiles/bench_fig5_randomwalk.dir/bench_fig5_randomwalk.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/check.h \
  /root/repo/src/solve/ipm_lp.h /root/repo/src/solve/lp_problem.h \
  /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/linalg/dense_matrix.h /root/repo/src/algo/online_approx.h \
- /root/repo/src/algo/certificate.h \
+ /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/algo/online_approx.h /root/repo/src/algo/certificate.h \
  /root/repo/src/solve/regularized_solver.h \
  /root/repo/bench/bench_common.h /root/repo/src/common/env.h \
  /root/repo/src/common/table.h /root/repo/src/sim/runner.h \
@@ -238,17 +245,11 @@ bench_build/CMakeFiles/bench_fig5_randomwalk.dir/bench_fig5_randomwalk.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/algo/offline.h \
- /root/repo/src/common/stats.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/scenario.h \
- /root/repo/src/geo/metro.h /root/repo/src/geo/geo.h \
- /root/repo/src/mobility/mobility.h /root/repo/src/common/rng.h \
- /root/repo/src/pricing/pricing.h /root/repo/src/workload/workload.h
+ /root/repo/src/common/stats.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/scenario.h /root/repo/src/geo/metro.h \
+ /root/repo/src/geo/geo.h /root/repo/src/mobility/mobility.h \
+ /root/repo/src/common/rng.h /root/repo/src/pricing/pricing.h \
+ /root/repo/src/workload/workload.h

@@ -13,9 +13,16 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/eca_algo.dir/DependInfo.cmake"
   "/root/repo/build/src/solve/CMakeFiles/eca_solve.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/eca_model.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/eca_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eca_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/eca_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eca_geo.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -227,10 +227,17 @@ examples/CMakeFiles/mobility_patterns.dir/mobility_patterns.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/algo/certificate.h \
  /root/repo/src/solve/regularized_solver.h \
+ /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/solve/lp_problem.h /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/linalg/dense_matrix.h /root/repo/src/common/table.h \
- /root/repo/src/sim/scenario.h /root/repo/src/geo/metro.h \
- /root/repo/src/geo/geo.h /root/repo/src/mobility/mobility.h \
- /root/repo/src/common/rng.h /root/repo/src/pricing/pricing.h \
- /root/repo/src/workload/workload.h /root/repo/src/sim/simulator.h \
- /root/repo/src/algo/offline.h
+ /root/repo/src/common/table.h /root/repo/src/sim/scenario.h \
+ /root/repo/src/geo/metro.h /root/repo/src/geo/geo.h \
+ /root/repo/src/mobility/mobility.h /root/repo/src/common/rng.h \
+ /root/repo/src/pricing/pricing.h /root/repo/src/workload/workload.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/algo/offline.h

@@ -226,4 +226,12 @@ src/algo/CMakeFiles/eca_algo.dir/baselines.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solve/ipm_lp.h \
  /root/repo/src/solve/lp_problem.h /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/linalg/dense_matrix.h /root/repo/src/algo/slot_lp.h
+ /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/algo/slot_lp.h

@@ -186,7 +186,6 @@ src/algo/CMakeFiles/eca_algo.dir/certificate.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/solve/regularized_solver.h \
- /root/repo/src/solve/lp_problem.h /root/repo/src/linalg/sparse_matrix.h \
  /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -197,4 +196,5 @@ src/algo/CMakeFiles/eca_algo.dir/certificate.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/solve/lp_problem.h /root/repo/src/linalg/sparse_matrix.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/env.cc" "src/common/CMakeFiles/eca_common.dir/env.cc.o" "gcc" "src/common/CMakeFiles/eca_common.dir/env.cc.o.d"
   "/root/repo/src/common/table.cc" "src/common/CMakeFiles/eca_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/eca_common.dir/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/eca_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/eca_common.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/eca_common.dir/env.cc.o.d"
   "CMakeFiles/eca_common.dir/table.cc.o"
   "CMakeFiles/eca_common.dir/table.cc.o.d"
+  "CMakeFiles/eca_common.dir/thread_pool.cc.o"
+  "CMakeFiles/eca_common.dir/thread_pool.cc.o.d"
   "libeca_common.a"
   "libeca_common.pdb"
 )

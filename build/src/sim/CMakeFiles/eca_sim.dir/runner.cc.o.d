@@ -239,11 +239,25 @@ src/sim/CMakeFiles/eca_sim.dir/runner.cc.o: /root/repo/src/sim/runner.cc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/algo/offline.h \
  /root/repo/src/solve/lp_problem.h /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/linalg/dense_matrix.h /root/repo/src/common/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/simulator.h /root/repo/src/algo/baselines.h \
- /root/repo/src/solve/ipm_lp.h /root/repo/src/algo/online_approx.h \
- /root/repo/src/algo/certificate.h \
- /root/repo/src/solve/regularized_solver.h
+ /root/repo/src/common/stats.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/algo/baselines.h /root/repo/src/solve/ipm_lp.h \
+ /root/repo/src/algo/online_approx.h /root/repo/src/algo/certificate.h \
+ /root/repo/src/solve/regularized_solver.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread

@@ -319,14 +319,14 @@ tests/CMakeFiles/test_algo.dir/algo/algorithms_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/check.h \
  /root/repo/src/solve/ipm_lp.h /root/repo/src/solve/lp_problem.h \
  /root/repo/src/linalg/sparse_matrix.h \
- /root/repo/src/linalg/dense_matrix.h /root/repo/src/algo/online_approx.h \
- /root/repo/src/algo/certificate.h \
+ /root/repo/src/linalg/dense_matrix.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/algo/online_approx.h /root/repo/src/algo/certificate.h \
  /root/repo/src/solve/regularized_solver.h \
  /root/repo/src/sim/paper_examples.h /root/repo/src/sim/runner.h \
  /root/repo/src/algo/offline.h /root/repo/src/common/stats.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/simulator.h /root/repo/src/sim/scenario.h \
  /root/repo/src/geo/metro.h /root/repo/src/geo/geo.h \
  /root/repo/src/mobility/mobility.h /root/repo/src/common/rng.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
   "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
   "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/test_common.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cc.o.d"
   )
 
 # Targets to which this target links.

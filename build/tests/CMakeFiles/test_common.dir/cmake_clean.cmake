@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
   "CMakeFiles/test_common.dir/common/table_test.cc.o"
   "CMakeFiles/test_common.dir/common/table_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/test_common.dir/common/thread_pool_test.cc.o.d"
   "test_common"
   "test_common.pdb"
   "test_common[1]_tests.cmake"

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solve/newton_alloc_test.cc" "tests/CMakeFiles/test_newton_alloc.dir/solve/newton_alloc_test.cc.o" "gcc" "tests/CMakeFiles/test_newton_alloc.dir/solve/newton_alloc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solve/CMakeFiles/eca_solve.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eca_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

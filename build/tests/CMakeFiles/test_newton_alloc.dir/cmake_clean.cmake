@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_newton_alloc.dir/solve/newton_alloc_test.cc.o"
+  "CMakeFiles/test_newton_alloc.dir/solve/newton_alloc_test.cc.o.d"
+  "test_newton_alloc"
+  "test_newton_alloc.pdb"
+  "test_newton_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_newton_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/runner_determinism_test.cc" "tests/CMakeFiles/test_runner_determinism.dir/sim/runner_determinism_test.cc.o" "gcc" "tests/CMakeFiles/test_runner_determinism.dir/sim/runner_determinism_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/eca_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/solve/CMakeFiles/eca_solve.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/eca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eca_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eca_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/eca_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eca_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_determinism.dir/sim/runner_determinism_test.cc.o"
+  "CMakeFiles/test_runner_determinism.dir/sim/runner_determinism_test.cc.o.d"
+  "test_runner_determinism"
+  "test_runner_determinism.pdb"
+  "test_runner_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

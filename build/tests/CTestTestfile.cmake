@@ -15,3 +15,5 @@ include("/root/repo/build/tests/test_model[1]_include.cmake")
 include("/root/repo/build/tests/test_algo[1]_include.cmake")
 include("/root/repo/build/tests/test_io[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_newton_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_runner_determinism[1]_include.cmake")

@@ -49,7 +49,7 @@ Allocation OnlineApprox::decide(const Instance& instance, std::size_t t,
                                 const Allocation& previous) {
   const solve::RegularizedProblem p = build_subproblem(instance, t, previous);
   const solve::RegularizedSolution sol =
-      solve::RegularizedSolver(options_.solver).solve(p);
+      solve::RegularizedSolver(options_.solver).solve(p, workspace_);
   ECA_CHECK(sol.status == solve::SolveStatus::kOptimal,
             "P2 subproblem failed at slot ", t, ": ",
             solve::to_string(sol.status));

@@ -51,6 +51,9 @@ class OnlineApprox final : public OnlineAlgorithm {
  private:
   OnlineApproxOptions options_;
   DualCertificate certificate_;
+  // Scratch reused across slots: every per-slot P2 has the same shape, so
+  // after slot 0 the solver runs without heap allocation in its Newton loop.
+  solve::NewtonWorkspace workspace_;
 };
 
 }  // namespace eca::algo

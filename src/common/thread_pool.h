@@ -1,0 +1,65 @@
+// Fixed-size worker pool for embarrassingly parallel experiment fan-out.
+//
+// The experiment runner evaluates independent (repetition × algorithm)
+// tasks; this pool provides the minimal machinery to spread them over
+// cores: a task queue, `submit`, and `wait_idle`. No work stealing, no
+// futures — results are written into caller-owned, index-addressed buffers
+// so output stays deterministic regardless of scheduling order.
+//
+// Thread count policy (`resolve_threads`): an explicit positive request
+// wins, otherwise the ECA_THREADS environment variable, otherwise
+// std::thread::hardware_concurrency(). A resolved count of 1 means "run on
+// the caller's thread, no pool" — the exact legacy serial path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eca {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueues `fn` for execution on some worker. `fn` must not throw.
+  void submit(std::function<void()> fn);
+
+  // Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  // Resolved worker count: `requested` if positive, else ECA_THREADS if set
+  // and positive, else hardware_concurrency (min 1).
+  static std::size_t resolve_threads(int requested = 0);
+
+  // Runs fn(i) for every i in [0, count). With `threads` <= 1 (or count <=
+  // 1) everything executes inline on the caller's thread in index order —
+  // the exact serial path. Otherwise workers pull indices from a shared
+  // counter; callers must make fn safe to run concurrently for distinct i.
+  static void parallel_for(std::size_t count, std::size_t threads,
+                           const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace eca

@@ -48,6 +48,23 @@ DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
   return out;
 }
 
+void DenseMatrix::multiply_into(const DenseMatrix& other,
+                                DenseMatrix& out) const {
+  ECA_CHECK(cols_ == other.rows_, "matmul dimension mismatch");
+  ECA_CHECK(out.rows() == rows_ && out.cols() == other.cols_,
+            "matmul output shape mismatch");
+  out.set_zero();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+}
+
 DenseMatrix DenseMatrix::transpose() const {
   DenseMatrix out(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -158,6 +175,23 @@ Vec Lu::solve(const Vec& b) const {
     x[ii] = v / lu_(ii, ii);
   }
   return x;
+}
+
+void Lu::solve_in_place(Vec& bx) {
+  ECA_CHECK(ok_, "Lu::solve_in_place called before a successful factor()");
+  const std::size_t n = lu_.rows();
+  ECA_CHECK(bx.size() == n);
+  scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = bx[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) v -= lu_(i, k) * scratch_[k];
+    scratch_[i] = v;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = scratch_[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= lu_(ii, k) * bx[k];
+    bx[ii] = v / lu_(ii, ii);
+  }
 }
 
 Vec Lu::solve_transpose(const Vec& b) const {

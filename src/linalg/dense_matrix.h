@@ -4,6 +4,7 @@
 // checks in tests).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -39,9 +40,14 @@ class DenseMatrix {
   // out = this^T * x
   [[nodiscard]] Vec multiply_transpose(const Vec& x) const;
   [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+  // out = this * other into a pre-shaped caller-owned matrix
+  // (allocation-free matmul for solver workspaces).
+  void multiply_into(const DenseMatrix& other, DenseMatrix& out) const;
   [[nodiscard]] DenseMatrix transpose() const;
 
   void add_scaled(const DenseMatrix& other, double alpha);
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
  private:
   std::size_t rows_ = 0;
@@ -68,6 +74,10 @@ class Lu {
  public:
   bool factor(const DenseMatrix& a);
   [[nodiscard]] Vec solve(const Vec& b) const;
+  // Solves A x = b in place, overwriting `bx` with x. Uses an internal
+  // scratch buffer that is reused across calls, so repeated same-size
+  // solves never allocate (the hot path of the Newton loop).
+  void solve_in_place(Vec& bx);
   // Solves A^T x = b.
   [[nodiscard]] Vec solve_transpose(const Vec& b) const;
   [[nodiscard]] bool ok() const { return ok_; }
@@ -75,6 +85,7 @@ class Lu {
  private:
   DenseMatrix lu_;
   std::vector<std::size_t> perm_;
+  Vec scratch_;
   bool ok_ = false;
 };
 

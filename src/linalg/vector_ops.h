@@ -35,6 +35,22 @@ inline void axpy(double alpha, const Vec& x, Vec& y) {
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
+// y = alpha * x + beta * y (fused scale-and-accumulate, no temporary).
+inline void axpby(double alpha, const Vec& x, double beta, Vec& y) {
+  ECA_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+// out = a - b into a caller-owned buffer (allocation-free `sub`).
+inline void sub_into(const Vec& a, const Vec& b, Vec& out) {
+  ECA_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+inline void fill(Vec& x, double value) {
+  for (double& v : x) v = value;
+}
+
 inline void scale(Vec& x, double alpha) {
   for (double& v : x) v *= alpha;
 }

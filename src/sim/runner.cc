@@ -5,6 +5,7 @@
 #include "algo/baselines.h"
 #include "algo/online_approx.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace eca::sim {
 
@@ -30,7 +31,28 @@ const AlgorithmSummary* ExperimentResult::find(const std::string& name) const {
   return nullptr;
 }
 
-ExperimentResult run_experiment(
+namespace {
+
+// Per-repetition state produced by the offline phase and consumed by the
+// algorithm phase; kept alive so concurrent algorithm runs share one
+// instance per repetition.
+struct RepState {
+  model::Instance instance;
+  double denominator = 0.0;
+};
+
+// Accumulates one (rep, algorithm) simulation into the summary exactly the
+// way the legacy serial loop did, so parallel and serial runs agree
+// bit-for-bit as long as the adds happen in the same order.
+void accumulate(const SimulationResult& sim, double denominator,
+                AlgorithmSummary& summary) {
+  summary.ratio.add(sim.weighted_total / denominator);
+  summary.absolute_cost.add(sim.weighted_total);
+  summary.wall_seconds.add(sim.wall_seconds);
+  summary.worst_violation = std::max(summary.worst_violation, sim.max_violation);
+}
+
+ExperimentResult run_experiment_serial(
     const std::function<model::Instance(int rep)>& make_instance,
     const std::vector<NamedFactory>& algorithms,
     const ExperimentOptions& options) {
@@ -57,14 +79,76 @@ ExperimentResult run_experiment(
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
       algo::AlgorithmPtr algorithm = algorithms[a].make();
       const SimulationResult sim = Simulator::run(instance, *algorithm);
-      AlgorithmSummary& summary = result.algorithms[a];
-      summary.ratio.add(sim.weighted_total / denominator);
-      summary.absolute_cost.add(sim.weighted_total);
-      summary.wall_seconds.add(sim.wall_seconds);
-      summary.worst_violation =
-          std::max(summary.worst_violation, sim.max_violation);
+      accumulate(sim, denominator, result.algorithms[a]);
       if (options.verbose) {
         std::fprintf(stderr, "rep %d: %-14s cost %.4f ratio %.4f (%.2fs)\n",
+                     rep, sim.algorithm.c_str(), sim.weighted_total,
+                     sim.weighted_total / denominator, sim.wall_seconds);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(
+    const std::function<model::Instance(int rep)>& make_instance,
+    const std::vector<NamedFactory>& algorithms,
+    const ExperimentOptions& options) {
+  const std::size_t threads = ThreadPool::resolve_threads(options.threads);
+  if (threads <= 1) {
+    return run_experiment_serial(make_instance, algorithms, options);
+  }
+
+  const auto reps = static_cast<std::size_t>(
+      options.repetitions > 0 ? options.repetitions : 0);
+  const std::size_t num_algos = algorithms.size();
+
+  // Phase 1: instance construction + offline optimum, parallel over reps.
+  std::vector<RepState> rep_states(reps);
+  ThreadPool::parallel_for(reps, threads, [&](std::size_t rep) {
+    RepState& state = rep_states[rep];
+    state.instance = make_instance(static_cast<int>(rep));
+    const algo::OfflineResult offline =
+        algo::solve_offline(state.instance, options.offline);
+    ECA_CHECK(offline.status == solve::SolveStatus::kOptimal,
+              "offline LP failed: ", solve::to_string(offline.status));
+    const SimulationResult offline_scored =
+        Simulator::score(state.instance, "offline-opt", offline.allocations);
+    state.denominator = offline_scored.weighted_total;
+    ECA_CHECK(state.denominator > 0.0, "offline optimum must be positive");
+  });
+
+  // Phase 2: one task per (rep × algorithm) pair, each with a fresh
+  // algorithm object; results land in an index-addressed buffer.
+  std::vector<SimulationResult> sims(reps * num_algos);
+  ThreadPool::parallel_for(reps * num_algos, threads, [&](std::size_t task) {
+    const std::size_t rep = task / num_algos;
+    const std::size_t a = task % num_algos;
+    algo::AlgorithmPtr algorithm = algorithms[a].make();
+    sims[task] = Simulator::run(rep_states[rep].instance, *algorithm);
+  });
+
+  // Phase 3: deterministic merge in the legacy (rep-major, roster-order)
+  // sequence — bit-identical to the serial path for any thread count.
+  ExperimentResult result;
+  result.algorithms.resize(num_algos);
+  for (std::size_t a = 0; a < num_algos; ++a) {
+    result.algorithms[a].name = algorithms[a].name;
+  }
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const double denominator = rep_states[rep].denominator;
+    result.offline_cost.add(denominator);
+    if (options.verbose) {
+      std::fprintf(stderr, "rep %zu: offline-opt cost %.4f\n", rep,
+                   denominator);
+    }
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      const SimulationResult& sim = sims[rep * num_algos + a];
+      accumulate(sim, denominator, result.algorithms[a]);
+      if (options.verbose) {
+        std::fprintf(stderr, "rep %zu: %-14s cost %.4f ratio %.4f (%.2fs)\n",
                      rep, sim.algorithm.c_str(), sim.weighted_total,
                      sim.weighted_total / denominator, sim.wall_seconds);
       }

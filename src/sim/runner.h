@@ -34,6 +34,12 @@ struct ExperimentOptions {
   std::uint64_t base_seed = 1;
   algo::OfflineOptions offline;
   bool verbose = false;
+  // Worker threads for the (repetition × algorithm) fan-out. 0 = resolve
+  // from the ECA_THREADS environment variable (default: hardware
+  // concurrency); 1 = the exact serial legacy path. Results are merged in
+  // repetition-major order from index-addressed buffers, so every thread
+  // count produces bit-identical statistics.
+  int threads = 0;
 };
 
 struct AlgorithmSummary {
@@ -53,7 +59,9 @@ struct ExperimentResult {
 
 // Runs all algorithms on instances produced by `make_instance(rep)`;
 // each repetition builds a fresh instance (the callback should vary the
-// seed with `rep`).
+// seed with `rep`). With options.threads != 1 repetitions and algorithm
+// runs execute concurrently, so `make_instance` must be safe to call
+// concurrently for distinct reps (pure seeded generation qualifies).
 ExperimentResult run_experiment(
     const std::function<model::Instance(int rep)>& make_instance,
     const std::vector<NamedFactory>& algorithms,

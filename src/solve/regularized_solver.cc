@@ -12,10 +12,15 @@ namespace eca::solve {
 
 Vec RegularizedProblem::prev_aggregate() const {
   Vec agg(num_clouds, 0.0);
-  for (std::size_t i = 0; i < num_clouds; ++i) {
-    for (std::size_t j = 0; j < num_users; ++j) agg[i] += prev[index(i, j)];
-  }
+  prev_aggregate_into(agg);
   return agg;
+}
+
+void RegularizedProblem::prev_aggregate_into(Vec& out) const {
+  out.assign(num_clouds, 0.0);
+  for (std::size_t i = 0; i < num_clouds; ++i) {
+    for (std::size_t j = 0; j < num_users; ++j) out[i] += prev[index(i, j)];
+  }
 }
 
 double RegularizedProblem::eta(std::size_t i) const {
@@ -32,8 +37,12 @@ double RegularizedProblem::total_demand() const {
 }
 
 double RegularizedProblem::objective(const Vec& x) const {
+  return objective(x, prev_aggregate());
+}
+
+double RegularizedProblem::objective(const Vec& x, const Vec& prev_agg) const {
   ECA_CHECK(x.size() == num_clouds * num_users);
-  const Vec prev_agg = prev_aggregate();
+  ECA_CHECK(prev_agg.size() == num_clouds);
   double value = linalg::dot(linear_cost, x);
   for (std::size_t i = 0; i < num_clouds; ++i) {
     double agg = 0.0;
@@ -58,9 +67,20 @@ double RegularizedProblem::objective(const Vec& x) const {
 }
 
 Vec RegularizedProblem::gradient(const Vec& x) const {
+  Vec grad(num_clouds * num_users);
+  Vec tau_cache(num_users);
+  for (std::size_t j = 0; j < num_users; ++j) tau_cache[j] = tau(j);
+  gradient_into(x, prev_aggregate(), tau_cache, grad);
+  return grad;
+}
+
+void RegularizedProblem::gradient_into(const Vec& x, const Vec& prev_agg,
+                                       const Vec& tau_cache, Vec& out) const {
   ECA_CHECK(x.size() == num_clouds * num_users);
-  const Vec prev_agg = prev_aggregate();
-  Vec grad = linear_cost;
+  ECA_CHECK(prev_agg.size() == num_clouds);
+  ECA_CHECK(tau_cache.size() == num_users);
+  ECA_CHECK(out.size() == x.size());
+  std::copy(linear_cost.begin(), linear_cost.end(), out.begin());
   for (std::size_t i = 0; i < num_clouds; ++i) {
     double agg = 0.0;
     for (std::size_t j = 0; j < num_users; ++j) agg += x[index(i, j)];
@@ -70,17 +90,16 @@ Vec RegularizedProblem::gradient(const Vec& x) const {
             ? recon_price[i] / eta_i *
                   std::log((agg + eps1) / (prev_agg[i] + eps1))
             : 0.0;
+    const double mig = migration_price[i];
     for (std::size_t j = 0; j < num_users; ++j) {
       const std::size_t ij = index(i, j);
       double g = recon_term;
-      if (migration_price[i] > 0.0) {
-        g += migration_price[i] / tau(j) *
-             std::log((x[ij] + eps2) / (prev[ij] + eps2));
+      if (mig > 0.0) {
+        g += mig / tau_cache[j] * std::log((x[ij] + eps2) / (prev[ij] + eps2));
       }
-      grad[ij] += g;
+      out[ij] += g;
     }
   }
-  return grad;
 }
 
 std::string RegularizedProblem::validate() const {
@@ -124,16 +143,40 @@ std::string RegularizedProblem::validate() const {
   return {};
 }
 
+void NewtonWorkspace::resize(std::size_t num_clouds, std::size_t num_users) {
+  if (clouds_ == num_clouds && users_ == num_users) return;
+  clouds_ = num_clouds;
+  users_ = num_users;
+  const std::size_t n = num_clouds * num_users;
+  const std::size_t k = num_clouds + num_users + 1;
+  for (Vec* v : {&x, &delta, &best_x, &best_delta, &grad_f, &r_dual, &rhs,
+                 &dx, &diag, &inv_diag, &ddelta, &residual, &correction}) {
+    v->assign(n, 0.0);
+  }
+  for (Vec* v : {&rho, &kappa, &best_rho, &best_kappa, &drho, &dkappa,
+                 &row_sum, &comp_corr, &dx_agg, &eta_cache, &prev_agg,
+                 &slack_agg, &slack_comp, &slack_cap}) {
+    v->assign(num_clouds, 0.0);
+  }
+  for (Vec* v : {&theta, &best_theta, &dtheta, &col_sum, &dx_demand,
+                 &tau_cache, &slack_demand}) {
+    v->assign(num_users, 0.0);
+  }
+  for (Vec* v : {&wtr, &mw, &wtd}) v->assign(k, 0.0);
+  middle = linalg::DenseMatrix(k, k);
+  g_mat = linalg::DenseMatrix(k, k);
+  cap_system = linalg::DenseMatrix(k, k);
+}
+
 namespace {
 
 using linalg::DenseMatrix;
-using linalg::Lu;
 
 // Strictly feasible starting point. Without capacity enforcement P2 is
 // always strictly feasible for I >= 2 (scale allocations up); with it we
 // spread demand proportionally to capacity and inflate by a factor strictly
 // between 1 and ΣC/Λ.
-Vec feasible_start(const RegularizedProblem& p) {
+void feasible_start(const RegularizedProblem& p, Vec& x) {
   const std::size_t kI = p.num_clouds;
   const std::size_t kJ = p.num_users;
   const double total_cap = linalg::sum(p.capacity);
@@ -156,79 +199,68 @@ Vec feasible_start(const RegularizedProblem& p) {
     const double headroom = total_cap / std::max(p.total_demand(), 1e-12);
     inflate = 0.5 * (1.0 + std::min(1.25, headroom));
   }
-  Vec x(kI * kJ, 0.0);
   for (std::size_t i = 0; i < kI; ++i) {
     for (std::size_t j = 0; j < kJ; ++j) {
       x[p.index(i, j)] = inflate * p.demand[j] * weight[i] / wsum;
     }
   }
-  return x;
 }
 
-Vec uniform_start(const RegularizedProblem& p, double scale) {
+void uniform_start(const RegularizedProblem& p, double scale, Vec& x) {
   const double kI = static_cast<double>(p.num_clouds);
-  Vec x(p.num_clouds * p.num_users, 0.0);
   for (std::size_t i = 0; i < p.num_clouds; ++i) {
     for (std::size_t j = 0; j < p.num_users; ++j) {
       x[p.index(i, j)] = scale * p.demand[j] / kI;
     }
   }
-  return x;
 }
 
-// Linear-constraint slacks at x: demand s_j, complement p_i, capacity q_i.
-struct Slacks {
-  Vec agg;     // X_i
-  Vec demand;  // s_j = Σ_i x_ij − λ_j
-  Vec comp;    // p_i = Σ_{k≠i} X_k − (Λ − C_i)
-  Vec cap;     // q_i = C_i − X_i
-};
-
+// Linear-constraint slacks at x into the workspace: aggregate X_i, demand
+// s_j = Σ_i x_ij − λ_j, complement p_i = Σ_{k≠i} X_k − (Λ − C_i), capacity
+// q_i = C_i − X_i. Allocation-free: the slack vectors are pre-sized.
 void compute_slacks(const RegularizedProblem& p, const Vec& x, bool has_comp,
-                    bool has_cap, Slacks& out) {
+                    bool has_cap, NewtonWorkspace& ws) {
   const std::size_t kI = p.num_clouds;
   const std::size_t kJ = p.num_users;
-  out.agg.assign(kI, 0.0);
-  out.demand.assign(kJ, 0.0);
+  linalg::fill(ws.slack_agg, 0.0);
+  linalg::fill(ws.slack_demand, 0.0);
   for (std::size_t i = 0; i < kI; ++i) {
     for (std::size_t j = 0; j < kJ; ++j) {
       const double v = x[p.index(i, j)];
-      out.agg[i] += v;
-      out.demand[j] += v;
+      ws.slack_agg[i] += v;
+      ws.slack_demand[j] += v;
     }
   }
-  for (std::size_t j = 0; j < kJ; ++j) out.demand[j] -= p.demand[j];
+  for (std::size_t j = 0; j < kJ; ++j) ws.slack_demand[j] -= p.demand[j];
   if (has_comp) {
-    const double total = linalg::sum(out.agg);
+    const double total = linalg::sum(ws.slack_agg);
     const double lambda_total = p.total_demand();
-    out.comp.assign(kI, 0.0);
     for (std::size_t i = 0; i < kI; ++i) {
-      out.comp[i] = total - out.agg[i] - lambda_total + p.capacity[i];
+      ws.slack_comp[i] = total - ws.slack_agg[i] - lambda_total + p.capacity[i];
     }
   }
   if (has_cap) {
-    out.cap.assign(kI, 0.0);
     for (std::size_t i = 0; i < kI; ++i) {
-      out.cap[i] = p.capacity[i] - out.agg[i];
+      ws.slack_cap[i] = p.capacity[i] - ws.slack_agg[i];
     }
   }
 }
 
-bool strictly_interior(const Vec& x, const Slacks& s, bool has_comp,
+bool strictly_interior(const Vec& x, const NewtonWorkspace& ws, bool has_comp,
                        bool has_cap) {
   for (double v : x) {
     if (v <= 0.0) return false;
   }
-  for (double v : s.demand) {
+  for (double v : ws.slack_demand) {
     if (v <= 0.0) return false;
   }
   if (has_comp) {
-    for (double v : s.comp) {
+    for (double v : ws.slack_comp) {
       if (v <= 0.0) return false;
     }
   }
   if (has_cap) {
-    for (double v : s.cap) {
+    for (double v : ws.slack_cap) {
       if (v <= 0.0) return false;
     }
   }
@@ -236,6 +268,12 @@ bool strictly_interior(const Vec& x, const Slacks& s, bool has_comp,
 }
 
 }  // namespace
+
+RegularizedSolution RegularizedSolver::solve(
+    const RegularizedProblem& p) const {
+  NewtonWorkspace ws;
+  return solve(p, ws);
+}
 
 // Primal-dual interior-point method. Perturbed KKT system:
 //   ∇f(x) − δ − Σ_j θ_j a_j − Σ_i ρ_i (e − u_i) + Σ_i κ_i u_i = 0
@@ -245,8 +283,12 @@ bool strictly_interior(const Vec& x, const Slacks& s, bool has_comp,
 //       + Σ_i (ρ_i/p_i)(e−u_i)(e−u_i)' + Σ_i (κ_i/q_i) u_i u_i'
 // which is diagonal + rank-(I+J+1) in the basis [u_1..u_I, a_1..a_J, e],
 // solved with a Woodbury-style reduction to an (I+J+1)² dense system.
-RegularizedSolution RegularizedSolver::solve(
-    const RegularizedProblem& p) const {
+//
+// Every buffer lives in the caller-provided workspace: after ws.resize()
+// the iteration loop performs no heap allocation (verified by
+// tests/solve/newton_alloc_test.cc).
+RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
+                                             NewtonWorkspace& ws) const {
   RegularizedSolution sol;
   const std::string problem_error = p.validate();
   ECA_CHECK(problem_error.empty(), problem_error);
@@ -268,18 +310,19 @@ RegularizedSolution RegularizedSolver::solve(
     return sol;
   }
 
+  ws.resize(kI, kJ);
+
   // --- Strictly feasible primal start -------------------------------------
-  Vec x = feasible_start(p);
-  Slacks slacks;
-  compute_slacks(p, x, has_comp, has_cap, slacks);
-  if (!strictly_interior(x, slacks, has_comp, has_cap)) {
+  feasible_start(p, ws.x);
+  compute_slacks(p, ws.x, has_comp, has_cap, ws);
+  if (!strictly_interior(ws.x, ws, has_comp, has_cap)) {
     const double scale =
         kI >= 2 ? std::max(2.0, 2.0 * static_cast<double>(kI) /
                                     static_cast<double>(kI - 1))
                 : 1.1;
-    x = uniform_start(p, scale);
-    compute_slacks(p, x, has_comp, has_cap, slacks);
-    if (!strictly_interior(x, slacks, has_comp, has_cap)) {
+    uniform_start(p, scale, ws.x);
+    compute_slacks(p, ws.x, has_comp, has_cap, ws);
+    if (!strictly_interior(ws.x, ws, has_comp, has_cap)) {
       sol.status = SolveStatus::kNumericalError;
       return sol;
     }
@@ -289,61 +332,127 @@ RegularizedSolution RegularizedSolver::solve(
 
   // --- Dual start ----------------------------------------------------------
   double mu = options_.initial_mu * cost_scale;
-  Vec delta(n), theta(kJ), rho(kI, 0.0), kappa(kI, 0.0);
-  for (std::size_t idx = 0; idx < n; ++idx) delta[idx] = mu / x[idx];
-  for (std::size_t j = 0; j < kJ; ++j) theta[j] = mu / slacks.demand[j];
+  linalg::fill(ws.rho, 0.0);
+  linalg::fill(ws.kappa, 0.0);
+  for (std::size_t idx = 0; idx < n; ++idx) ws.delta[idx] = mu / ws.x[idx];
+  for (std::size_t j = 0; j < kJ; ++j) {
+    ws.theta[j] = mu / ws.slack_demand[j];
+  }
   if (has_comp) {
-    for (std::size_t i = 0; i < kI; ++i) rho[i] = mu / slacks.comp[i];
+    for (std::size_t i = 0; i < kI; ++i) ws.rho[i] = mu / ws.slack_comp[i];
   }
   if (has_cap) {
-    for (std::size_t i = 0; i < kI; ++i) kappa[i] = mu / slacks.cap[i];
+    for (std::size_t i = 0; i < kI; ++i) ws.kappa[i] = mu / ws.slack_cap[i];
   }
 
   const std::size_t k = kI + kJ + 1;  // reduction basis: u_i, a_j, e
   const std::size_t total_constraints = n + kJ + (has_comp ? kI : 0) +
                                         (has_cap ? kI : 0);
-  Vec tau_cache(kJ);
-  for (std::size_t j = 0; j < kJ; ++j) tau_cache[j] = p.tau(j);
-  const Vec prev_agg = p.prev_aggregate();
-
-  Vec grad_f(n), r_dual(n), rhs(n), dx(n);
-  Vec diag(n), inv_diag(n);
-  DenseMatrix middle(k, k), g_mat(k, k), cap_system(k, k);
-  Vec ddelta(n), dtheta(kJ), drho(kI), dkappa(kI);
+  // Loop-invariant caches: τ_j, η_i and the previous aggregate Xp_i
+  // (objective/gradient would otherwise recompute Xp per call).
+  for (std::size_t j = 0; j < kJ; ++j) ws.tau_cache[j] = p.tau(j);
+  for (std::size_t i = 0; i < kI; ++i) ws.eta_cache[i] = p.eta(i);
+  p.prev_aggregate_into(ws.prev_agg);
 
   // Best-iterate tracking: the pure-LP corner of the problem (no
   // regularizers => no objective curvature) can lose accuracy at very small
-  // mu; we keep the best KKT point seen and fall back to it.
+  // mu; we keep the best KKT point seen and fall back to it. Same-size
+  // copy-assignments below reuse the destination buffers.
   double best_score = kInf;
-  Vec best_x = x, best_delta = delta, best_theta = theta, best_rho = rho,
-      best_kappa = kappa;
+  ws.best_x = ws.x;
+  ws.best_delta = ws.delta;
+  ws.best_theta = ws.theta;
+  ws.best_rho = ws.rho;
+  ws.best_kappa = ws.kappa;
+
+  // out = (D + W M W')⁻¹ r_in via the Woodbury reduction; uses ws.wtr
+  // (doubles as the reduced solve's unknown) and ws.mw.
+  const auto apply_inverse = [&](const Vec& r_in, Vec& out) {
+    linalg::fill(ws.wtr, 0.0);
+    for (std::size_t i = 0; i < kI; ++i) {
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t ij = p.index(i, j);
+        const double v = ws.inv_diag[ij] * r_in[ij];
+        ws.wtr[i] += v;
+        ws.wtr[kI + j] += v;
+        ws.wtr[k - 1] += v;
+      }
+    }
+    ws.lu.solve_in_place(ws.wtr);  // ws.wtr now holds w
+    for (std::size_t r = 0; r < k; ++r) {
+      double acc = 0.0;
+      for (std::size_t c2 = 0; c2 < k; ++c2) acc += ws.middle(r, c2) * ws.wtr[c2];
+      ws.mw[r] = acc;
+    }
+    for (std::size_t i = 0; i < kI; ++i) {
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t ij = p.index(i, j);
+        const double wmw = ws.mw[i] + ws.mw[kI + j] + ws.mw[k - 1];
+        out[ij] = ws.inv_diag[ij] * (r_in[ij] - wmw);
+      }
+    }
+  };
+
+  // out = (D + W M W') d  (exact, for iterative refinement).
+  const auto apply_matrix = [&](const Vec& d_in, Vec& out) {
+    linalg::fill(ws.wtd, 0.0);
+    for (std::size_t i = 0; i < kI; ++i) {
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t ij = p.index(i, j);
+        ws.wtd[i] += d_in[ij];
+        ws.wtd[kI + j] += d_in[ij];
+        ws.wtd[k - 1] += d_in[ij];
+      }
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      double acc = 0.0;
+      for (std::size_t c2 = 0; c2 < k; ++c2) acc += ws.middle(r, c2) * ws.wtd[c2];
+      ws.mw[r] = acc;
+    }
+    for (std::size_t i = 0; i < kI; ++i) {
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t ij = p.index(i, j);
+        out[ij] = ws.diag[ij] * d_in[ij] + ws.mw[i] + ws.mw[kI + j] +
+                  ws.mw[k - 1];
+      }
+    }
+  };
 
   const int max_iterations = 200;
   int iter = 0;
   bool converged = false;
   for (; iter < max_iterations; ++iter) {
     // Residuals.
-    grad_f = p.gradient(x);
-    const double rho_total = has_comp ? linalg::sum(rho) : 0.0;
+    p.gradient_into(ws.x, ws.prev_agg, ws.tau_cache, ws.grad_f);
+    const double rho_total = has_comp ? linalg::sum(ws.rho) : 0.0;
     double dual_resid_norm = 0.0;
     for (std::size_t i = 0; i < kI; ++i) {
-      const double rho_except = has_comp ? rho_total - rho[i] : 0.0;
-      const double kap = has_cap ? kappa[i] : 0.0;
+      const double rho_except = has_comp ? rho_total - ws.rho[i] : 0.0;
+      const double kap = has_cap ? ws.kappa[i] : 0.0;
       for (std::size_t j = 0; j < kJ; ++j) {
         const std::size_t ij = p.index(i, j);
-        r_dual[ij] = grad_f[ij] - delta[ij] - theta[j] - rho_except + kap;
-        dual_resid_norm = std::max(dual_resid_norm, std::abs(r_dual[ij]));
+        ws.r_dual[ij] =
+            ws.grad_f[ij] - ws.delta[ij] - ws.theta[j] - rho_except + kap;
+        dual_resid_norm = std::max(dual_resid_norm, std::abs(ws.r_dual[ij]));
       }
     }
     // Average complementarity.
     double comp_sum = 0.0;
-    for (std::size_t idx = 0; idx < n; ++idx) comp_sum += x[idx] * delta[idx];
-    for (std::size_t j = 0; j < kJ; ++j) comp_sum += slacks.demand[j] * theta[j];
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      comp_sum += ws.x[idx] * ws.delta[idx];
+    }
+    for (std::size_t j = 0; j < kJ; ++j) {
+      comp_sum += ws.slack_demand[j] * ws.theta[j];
+    }
     if (has_comp) {
-      for (std::size_t i = 0; i < kI; ++i) comp_sum += slacks.comp[i] * rho[i];
+      for (std::size_t i = 0; i < kI; ++i) {
+        comp_sum += ws.slack_comp[i] * ws.rho[i];
+      }
     }
     if (has_cap) {
-      for (std::size_t i = 0; i < kI; ++i) comp_sum += slacks.cap[i] * kappa[i];
+      for (std::size_t i = 0; i < kI; ++i) {
+        comp_sum += ws.slack_cap[i] * ws.kappa[i];
+      }
     }
     const double comp_avg = comp_sum / static_cast<double>(total_constraints);
 
@@ -355,11 +464,11 @@ RegularizedSolution RegularizedSolver::solve(
                                   dual_resid_norm / cost_scale);
     if (score < best_score) {
       best_score = score;
-      best_x = x;
-      best_delta = delta;
-      best_theta = theta;
-      best_rho = rho;
-      best_kappa = kappa;
+      ws.best_x = ws.x;
+      ws.best_delta = ws.delta;
+      ws.best_theta = ws.theta;
+      ws.best_rho = ws.rho;
+      ws.best_kappa = ws.kappa;
     }
     if (comp_avg <= options_.final_mu * cost_scale &&
         dual_resid_norm <= 1e-7 * cost_scale) {
@@ -379,183 +488,135 @@ RegularizedSolution RegularizedSolver::solve(
       const double mig = p.migration_price[i];
       for (std::size_t j = 0; j < kJ; ++j) {
         const std::size_t ij = p.index(i, j);
-        double d = delta[ij] / x[ij];
-        if (mig > 0.0) d += mig / tau_cache[j] / (x[ij] + p.eps2);
-        diag[ij] = d;
-        inv_diag[ij] = 1.0 / d;
+        double d = ws.delta[ij] / ws.x[ij];
+        if (mig > 0.0) d += mig / ws.tau_cache[j] / (ws.x[ij] + p.eps2);
+        ws.diag[ij] = d;
+        ws.inv_diag[ij] = 1.0 / d;
       }
     }
-    middle = DenseMatrix(k, k);
+    ws.middle.set_zero();
     double beta_sum = 0.0;
     for (std::size_t i = 0; i < kI; ++i) {
-      const double eta_i = p.eta(i);
+      const double eta_i = ws.eta_cache[i];
       double h = 0.0;
       if (p.recon_price[i] > 0.0 && eta_i > 0.0) {
-        h = p.recon_price[i] / eta_i / (slacks.agg[i] + p.eps1);
+        h = p.recon_price[i] / eta_i / (ws.slack_agg[i] + p.eps1);
       }
-      if (has_cap) h += kappa[i] / slacks.cap[i];
+      if (has_cap) h += ws.kappa[i] / ws.slack_cap[i];
       double beta = 0.0;
       if (has_comp) {
-        beta = rho[i] / slacks.comp[i];
+        beta = ws.rho[i] / ws.slack_comp[i];
         beta_sum += beta;
       }
-      middle(i, i) = h + beta;
-      middle(i, kI + kJ) = -beta;
-      middle(kI + kJ, i) = -beta;
+      ws.middle(i, i) = h + beta;
+      ws.middle(i, kI + kJ) = -beta;
+      ws.middle(kI + kJ, i) = -beta;
     }
     for (std::size_t j = 0; j < kJ; ++j) {
-      middle(kI + j, kI + j) = theta[j] / slacks.demand[j];
+      ws.middle(kI + j, kI + j) = ws.theta[j] / ws.slack_demand[j];
     }
-    middle(kI + kJ, kI + kJ) = beta_sum;
+    ws.middle(kI + kJ, kI + kJ) = beta_sum;
 
     // G = W' D^{-1} W using the indicator structure.
-    Vec row_sum(kI, 0.0), col_sum(kJ, 0.0);
+    linalg::fill(ws.row_sum, 0.0);
+    linalg::fill(ws.col_sum, 0.0);
     double total_sum = 0.0;
     for (std::size_t i = 0; i < kI; ++i) {
       for (std::size_t j = 0; j < kJ; ++j) {
-        const double v = inv_diag[p.index(i, j)];
-        row_sum[i] += v;
-        col_sum[j] += v;
+        const double v = ws.inv_diag[p.index(i, j)];
+        ws.row_sum[i] += v;
+        ws.col_sum[j] += v;
         total_sum += v;
       }
     }
-    g_mat = DenseMatrix(k, k);
+    ws.g_mat.set_zero();
     for (std::size_t i = 0; i < kI; ++i) {
-      g_mat(i, i) = row_sum[i];
-      g_mat(i, kI + kJ) = row_sum[i];
-      g_mat(kI + kJ, i) = row_sum[i];
+      ws.g_mat(i, i) = ws.row_sum[i];
+      ws.g_mat(i, kI + kJ) = ws.row_sum[i];
+      ws.g_mat(kI + kJ, i) = ws.row_sum[i];
       for (std::size_t j = 0; j < kJ; ++j) {
-        g_mat(i, kI + j) = inv_diag[p.index(i, j)];
-        g_mat(kI + j, i) = g_mat(i, kI + j);
+        ws.g_mat(i, kI + j) = ws.inv_diag[p.index(i, j)];
+        ws.g_mat(kI + j, i) = ws.g_mat(i, kI + j);
       }
     }
     for (std::size_t j = 0; j < kJ; ++j) {
-      g_mat(kI + j, kI + j) = col_sum[j];
-      g_mat(kI + j, kI + kJ) = col_sum[j];
-      g_mat(kI + kJ, kI + j) = col_sum[j];
+      ws.g_mat(kI + j, kI + j) = ws.col_sum[j];
+      ws.g_mat(kI + j, kI + kJ) = ws.col_sum[j];
+      ws.g_mat(kI + kJ, kI + j) = ws.col_sum[j];
     }
-    g_mat(kI + kJ, kI + kJ) = total_sum;
+    ws.g_mat(kI + kJ, kI + kJ) = total_sum;
 
-    cap_system = g_mat.multiply(middle);
-    for (std::size_t r = 0; r < k; ++r) cap_system(r, r) += 1.0;
-    Lu lu;
-    if (!lu.factor(cap_system)) break;  // fall back to the best iterate
-
-    auto apply_inverse = [&](const Vec& r_in, Vec& out) {
-      Vec wtr(k, 0.0);
-      for (std::size_t i = 0; i < kI; ++i) {
-        for (std::size_t j = 0; j < kJ; ++j) {
-          const std::size_t ij = p.index(i, j);
-          const double v = inv_diag[ij] * r_in[ij];
-          wtr[i] += v;
-          wtr[kI + j] += v;
-          wtr[k - 1] += v;
-        }
-      }
-      const Vec w = lu.solve(wtr);
-      Vec mw(k, 0.0);
-      for (std::size_t r = 0; r < k; ++r) {
-        double acc = 0.0;
-        for (std::size_t c2 = 0; c2 < k; ++c2) acc += middle(r, c2) * w[c2];
-        mw[r] = acc;
-      }
-      for (std::size_t i = 0; i < kI; ++i) {
-        for (std::size_t j = 0; j < kJ; ++j) {
-          const std::size_t ij = p.index(i, j);
-          const double wmw = mw[i] + mw[kI + j] + mw[k - 1];
-          out[ij] = inv_diag[ij] * (r_in[ij] - wmw);
-        }
-      }
-    };
+    ws.g_mat.multiply_into(ws.middle, ws.cap_system);
+    for (std::size_t r = 0; r < k; ++r) ws.cap_system(r, r) += 1.0;
+    if (!ws.lu.factor(ws.cap_system)) break;  // fall back to the best iterate
 
     // RHS: −r_dual + (μ/x − δ) + Σ_j a_j (μ/s_j − θ_j)
     //      + Σ_i (e−u_i)(μ/p_i − ρ_i) − Σ_i u_i (μ/q_i − κ_i).
     double comp_corr_total = 0.0;  // Σ_i (μ/p_i − ρ_i)
-    Vec comp_corr(kI, 0.0);
+    linalg::fill(ws.comp_corr, 0.0);
     if (has_comp) {
       for (std::size_t i = 0; i < kI; ++i) {
-        comp_corr[i] = mu / slacks.comp[i] - rho[i];
-        comp_corr_total += comp_corr[i];
+        ws.comp_corr[i] = mu / ws.slack_comp[i] - ws.rho[i];
+        comp_corr_total += ws.comp_corr[i];
       }
     }
     for (std::size_t i = 0; i < kI; ++i) {
       const double cap_corr =
-          has_cap ? mu / slacks.cap[i] - kappa[i] : 0.0;
-      const double comp_term = has_comp ? comp_corr_total - comp_corr[i] : 0.0;
+          has_cap ? mu / ws.slack_cap[i] - ws.kappa[i] : 0.0;
+      const double comp_term =
+          has_comp ? comp_corr_total - ws.comp_corr[i] : 0.0;
       for (std::size_t j = 0; j < kJ; ++j) {
         const std::size_t ij = p.index(i, j);
-        rhs[ij] = -r_dual[ij] + (mu / x[ij] - delta[ij]) +
-                  (mu / slacks.demand[j] - theta[j]) + comp_term - cap_corr;
+        ws.rhs[ij] = -ws.r_dual[ij] + (mu / ws.x[ij] - ws.delta[ij]) +
+                     (mu / ws.slack_demand[j] - ws.theta[j]) + comp_term -
+                     cap_corr;
       }
     }
-    // out = (D + W M W') d  (exact, for iterative refinement).
-    auto apply_matrix = [&](const Vec& d_in, Vec& out) {
-      Vec wtd(k, 0.0);
-      for (std::size_t i = 0; i < kI; ++i) {
-        for (std::size_t j = 0; j < kJ; ++j) {
-          const std::size_t ij = p.index(i, j);
-          wtd[i] += d_in[ij];
-          wtd[kI + j] += d_in[ij];
-          wtd[k - 1] += d_in[ij];
-        }
-      }
-      Vec mw(k, 0.0);
-      for (std::size_t r = 0; r < k; ++r) {
-        double acc = 0.0;
-        for (std::size_t c2 = 0; c2 < k; ++c2) acc += middle(r, c2) * wtd[c2];
-        mw[r] = acc;
-      }
-      for (std::size_t i = 0; i < kI; ++i) {
-        for (std::size_t j = 0; j < kJ; ++j) {
-          const std::size_t ij = p.index(i, j);
-          out[ij] = diag[ij] * d_in[ij] + mw[i] + mw[kI + j] + mw[k - 1];
-        }
-      }
-    };
 
-    apply_inverse(rhs, dx);
-    {
-      // Two rounds of iterative refinement keep the Newton direction
-      // accurate when the reduced system mixes O(z/s) and O(1) scales.
-      Vec residual(n), correction(n);
-      for (int refine = 0; refine < 2; ++refine) {
-        apply_matrix(dx, residual);
-        for (std::size_t idx = 0; idx < n; ++idx) {
-          residual[idx] = rhs[idx] - residual[idx];
-        }
-        apply_inverse(residual, correction);
-        for (std::size_t idx = 0; idx < n; ++idx) dx[idx] += correction[idx];
-      }
+    apply_inverse(ws.rhs, ws.dx);
+    // Two rounds of iterative refinement keep the Newton direction
+    // accurate when the reduced system mixes O(z/s) and O(1) scales.
+    for (int refine = 0; refine < 2; ++refine) {
+      apply_matrix(ws.dx, ws.residual);
+      linalg::sub_into(ws.rhs, ws.residual, ws.residual);
+      apply_inverse(ws.residual, ws.correction);
+      linalg::axpy(1.0, ws.correction, ws.dx);
     }
 
     // Dual steps from the complementarity equations.
-    Vec dx_agg(kI, 0.0), dx_demand(kJ, 0.0);
+    linalg::fill(ws.dx_agg, 0.0);
+    linalg::fill(ws.dx_demand, 0.0);
     for (std::size_t i = 0; i < kI; ++i) {
       for (std::size_t j = 0; j < kJ; ++j) {
-        const double d = dx[p.index(i, j)];
-        dx_agg[i] += d;
-        dx_demand[j] += d;
+        const double d = ws.dx[p.index(i, j)];
+        ws.dx_agg[i] += d;
+        ws.dx_demand[j] += d;
       }
     }
-    const double dx_total = linalg::sum(dx_agg);
+    const double dx_total = linalg::sum(ws.dx_agg);
     for (std::size_t idx = 0; idx < n; ++idx) {
-      ddelta[idx] = (mu - x[idx] * delta[idx] - delta[idx] * dx[idx]) / x[idx];
+      ws.ddelta[idx] = (mu - ws.x[idx] * ws.delta[idx] -
+                        ws.delta[idx] * ws.dx[idx]) /
+                       ws.x[idx];
     }
     for (std::size_t j = 0; j < kJ; ++j) {
-      dtheta[j] = (mu - slacks.demand[j] * theta[j] - theta[j] * dx_demand[j]) /
-                  slacks.demand[j];
+      ws.dtheta[j] = (mu - ws.slack_demand[j] * ws.theta[j] -
+                      ws.theta[j] * ws.dx_demand[j]) /
+                     ws.slack_demand[j];
     }
     if (has_comp) {
       for (std::size_t i = 0; i < kI; ++i) {
-        const double ds = dx_total - dx_agg[i];
-        drho[i] = (mu - slacks.comp[i] * rho[i] - rho[i] * ds) / slacks.comp[i];
+        const double ds = dx_total - ws.dx_agg[i];
+        ws.drho[i] = (mu - ws.slack_comp[i] * ws.rho[i] - ws.rho[i] * ds) /
+                     ws.slack_comp[i];
       }
     }
     if (has_cap) {
       for (std::size_t i = 0; i < kI; ++i) {
-        const double dq = -dx_agg[i];
-        dkappa[i] =
-            (mu - slacks.cap[i] * kappa[i] - kappa[i] * dq) / slacks.cap[i];
+        const double dq = -ws.dx_agg[i];
+        ws.dkappa[i] = (mu - ws.slack_cap[i] * ws.kappa[i] -
+                        ws.kappa[i] * dq) /
+                       ws.slack_cap[i];
       }
     }
 
@@ -563,44 +624,50 @@ RegularizedSolution RegularizedSolver::solve(
     const double ftb = 0.995;
     double alpha_p = 1.0;
     for (std::size_t idx = 0; idx < n; ++idx) {
-      if (dx[idx] < 0.0) alpha_p = std::min(alpha_p, -x[idx] / dx[idx]);
+      if (ws.dx[idx] < 0.0) {
+        alpha_p = std::min(alpha_p, -ws.x[idx] / ws.dx[idx]);
+      }
     }
     for (std::size_t j = 0; j < kJ; ++j) {
-      if (dx_demand[j] < 0.0) {
-        alpha_p = std::min(alpha_p, -slacks.demand[j] / dx_demand[j]);
+      if (ws.dx_demand[j] < 0.0) {
+        alpha_p = std::min(alpha_p, -ws.slack_demand[j] / ws.dx_demand[j]);
       }
     }
     if (has_comp) {
       for (std::size_t i = 0; i < kI; ++i) {
-        const double ds = dx_total - dx_agg[i];
-        if (ds < 0.0) alpha_p = std::min(alpha_p, -slacks.comp[i] / ds);
+        const double ds = dx_total - ws.dx_agg[i];
+        if (ds < 0.0) alpha_p = std::min(alpha_p, -ws.slack_comp[i] / ds);
       }
     }
     if (has_cap) {
       for (std::size_t i = 0; i < kI; ++i) {
-        if (dx_agg[i] > 0.0) {
-          alpha_p = std::min(alpha_p, slacks.cap[i] / dx_agg[i]);
+        if (ws.dx_agg[i] > 0.0) {
+          alpha_p = std::min(alpha_p, ws.slack_cap[i] / ws.dx_agg[i]);
         }
       }
     }
     double alpha_d = 1.0;
     for (std::size_t idx = 0; idx < n; ++idx) {
-      if (ddelta[idx] < 0.0) {
-        alpha_d = std::min(alpha_d, -delta[idx] / ddelta[idx]);
+      if (ws.ddelta[idx] < 0.0) {
+        alpha_d = std::min(alpha_d, -ws.delta[idx] / ws.ddelta[idx]);
       }
     }
     for (std::size_t j = 0; j < kJ; ++j) {
-      if (dtheta[j] < 0.0) alpha_d = std::min(alpha_d, -theta[j] / dtheta[j]);
+      if (ws.dtheta[j] < 0.0) {
+        alpha_d = std::min(alpha_d, -ws.theta[j] / ws.dtheta[j]);
+      }
     }
     if (has_comp) {
       for (std::size_t i = 0; i < kI; ++i) {
-        if (drho[i] < 0.0) alpha_d = std::min(alpha_d, -rho[i] / drho[i]);
+        if (ws.drho[i] < 0.0) {
+          alpha_d = std::min(alpha_d, -ws.rho[i] / ws.drho[i]);
+        }
       }
     }
     if (has_cap) {
       for (std::size_t i = 0; i < kI; ++i) {
-        if (dkappa[i] < 0.0) {
-          alpha_d = std::min(alpha_d, -kappa[i] / dkappa[i]);
+        if (ws.dkappa[i] < 0.0) {
+          alpha_d = std::min(alpha_d, -ws.kappa[i] / ws.dkappa[i]);
         }
       }
     }
@@ -610,26 +677,20 @@ RegularizedSolution RegularizedSolver::solve(
     // The objective is nonlinear, so safeguard the primal step: require the
     // new point to stay strictly interior (always true by construction) and
     // damp jointly if the dual residual would blow up.
-    for (std::size_t idx = 0; idx < n; ++idx) {
-      x[idx] += alpha_p * dx[idx];
-    }
-    for (std::size_t idx = 0; idx < n; ++idx) delta[idx] += alpha_d * ddelta[idx];
-    for (std::size_t j = 0; j < kJ; ++j) theta[j] += alpha_d * dtheta[j];
-    if (has_comp) {
-      for (std::size_t i = 0; i < kI; ++i) rho[i] += alpha_d * drho[i];
-    }
-    if (has_cap) {
-      for (std::size_t i = 0; i < kI; ++i) kappa[i] += alpha_d * dkappa[i];
-    }
-    compute_slacks(p, x, has_comp, has_cap, slacks);
+    linalg::axpy(alpha_p, ws.dx, ws.x);
+    linalg::axpy(alpha_d, ws.ddelta, ws.delta);
+    linalg::axpy(alpha_d, ws.dtheta, ws.theta);
+    if (has_comp) linalg::axpy(alpha_d, ws.drho, ws.rho);
+    if (has_cap) linalg::axpy(alpha_d, ws.dkappa, ws.kappa);
+    compute_slacks(p, ws.x, has_comp, has_cap, ws);
   }
 
-  sol.x = converged ? x : best_x;
-  sol.theta = converged ? theta : best_theta;
-  sol.rho = has_comp ? (converged ? rho : best_rho) : Vec(kI, 0.0);
-  sol.kappa = has_cap ? (converged ? kappa : best_kappa) : Vec(kI, 0.0);
-  sol.delta = converged ? delta : best_delta;
-  sol.objective_value = p.objective(sol.x);
+  sol.x = converged ? ws.x : ws.best_x;
+  sol.theta = converged ? ws.theta : ws.best_theta;
+  sol.rho = has_comp ? (converged ? ws.rho : ws.best_rho) : Vec(kI, 0.0);
+  sol.kappa = has_cap ? (converged ? ws.kappa : ws.best_kappa) : Vec(kI, 0.0);
+  sol.delta = converged ? ws.delta : ws.best_delta;
+  sol.objective_value = p.objective(sol.x, ws.prev_agg);
   sol.newton_iterations = iter;
   // A best-iterate fallback with a small KKT score is still a usable
   // optimum; only report failure when even the best point is poor.

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 
+#include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 #include "solve/lp_problem.h"
 
@@ -53,10 +54,21 @@ struct RegularizedProblem {
   }
   // Aggregate previous allocation per cloud, Xp_i.
   [[nodiscard]] Vec prev_aggregate() const;
+  void prev_aggregate_into(Vec& out) const;
   // Objective value at x (exact, no barrier).
   [[nodiscard]] double objective(const Vec& x) const;
   // Gradient of the objective at x.
   [[nodiscard]] Vec gradient(const Vec& x) const;
+  // Hot-path variants taking the cached aggregate of `prev` (and, for the
+  // gradient, cached τ_j values) instead of recomputing them per call.
+  //
+  // Contract: `prev_agg` must equal prev_aggregate() for the *current*
+  // contents of `prev`, and `tau_cache[j]` must equal tau(j); callers that
+  // mutate `prev` (or `demand`/`eps2`) between calls must refresh the
+  // caches, otherwise the reported cost and gradient are silently wrong.
+  [[nodiscard]] double objective(const Vec& x, const Vec& prev_agg) const;
+  void gradient_into(const Vec& x, const Vec& prev_agg, const Vec& tau_cache,
+                     Vec& out) const;
   // η_i (0 when the regularizer is absent, i.e. c_i = 0 or C_i = 0).
   [[nodiscard]] double eta(std::size_t i) const;
   // τ_ij (only depends on j).
@@ -77,6 +89,41 @@ struct RegularizedOptions {
   bool verbose = false;
 };
 
+// Reusable scratch for RegularizedSolver::solve — every vector, matrix and
+// LU buffer the Newton path-following loop touches. After `resize()` the
+// iteration loop performs zero heap allocations; callers solving a
+// sequence of same-shaped problems (OnlineApprox: one P2 per slot) should
+// hold one workspace across solves, which makes `resize` a no-op and the
+// whole solve allocation-free apart from the returned solution vectors.
+struct NewtonWorkspace {
+  void resize(std::size_t num_clouds, std::size_t num_users);
+
+  // Iterates (primal x, duals) and the best-KKT fallback copies.
+  Vec x, delta, theta, rho, kappa;
+  Vec best_x, best_delta, best_theta, best_rho, best_kappa;
+  // Newton system pieces: gradient, residual, right-hand side, direction,
+  // diagonal of the condensed Hessian and its inverse.
+  Vec grad_f, r_dual, rhs, dx, diag, inv_diag;
+  // Dual step directions.
+  Vec ddelta, dtheta, drho, dkappa;
+  // Low-rank (Woodbury) reduction scratch: G = WᵀD⁻¹W accumulators and the
+  // k-dimensional solve/apply buffers (k = I + J + 1).
+  Vec row_sum, col_sum, wtr, mw, wtd;
+  // Iterative-refinement and RHS-correction buffers.
+  Vec comp_corr, residual, correction, dx_agg, dx_demand;
+  // Loop-invariant caches (η_i, τ_j, Xp_i).
+  Vec eta_cache, tau_cache, prev_agg;
+  // Linear-constraint slacks at the current x.
+  Vec slack_agg, slack_demand, slack_comp, slack_cap;
+  // Reduced (I+J+1)² system and its LU factorization scratch.
+  linalg::DenseMatrix middle, g_mat, cap_system;
+  linalg::Lu lu;
+
+ private:
+  std::size_t clouds_ = 0;
+  std::size_t users_ = 0;
+};
+
 struct RegularizedSolution {
   SolveStatus status = SolveStatus::kNumericalError;
   Vec x;        // size I*J
@@ -94,6 +141,10 @@ class RegularizedSolver {
       : options_(options) {}
 
   [[nodiscard]] RegularizedSolution solve(const RegularizedProblem& p) const;
+  // Same, but reusing a caller-owned workspace: no allocations inside the
+  // Newton loop, and (for same-shaped problems) none during setup either.
+  RegularizedSolution solve(const RegularizedProblem& p,
+                            NewtonWorkspace& ws) const;
 
  private:
   RegularizedOptions options_;

@@ -41,6 +41,32 @@ TEST(RunningStats, MergeEqualsBulk) {
   EXPECT_EQ(a.max(), all.max());
 }
 
+// Parallel-runner scenario: pushes split into per-thread chunks, merged in
+// chunk order, must match one sequential accumulator to tight tolerance
+// (the Chan/Welford combination is exact up to rounding).
+TEST(RunningStats, ChunkedMergeMatchesSequentialPushes) {
+  constexpr int kChunks = 4;
+  constexpr int kPerChunk = 50;
+  RunningStats chunks[kChunks];
+  RunningStats sequential;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // deterministic pseudo-noise
+  for (int c = 0; c < kChunks; ++c) {
+    for (int i = 0; i < kPerChunk; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const double x = 1.0 + static_cast<double>(state >> 40) / 1e6;
+      chunks[c].add(x);
+      sequential.add(x);
+    }
+  }
+  RunningStats merged = chunks[0];
+  for (int c = 1; c < kChunks; ++c) merged.merge(chunks[c]);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-12);
+  EXPECT_EQ(merged.min(), sequential.min());
+  EXPECT_EQ(merged.max(), sequential.max());
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, empty;
   a.add(3.0);

@@ -1,0 +1,56 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace eca {
+namespace {
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ThreadPool::parallel_for(hits.size(), threads, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool::parallel_for(0, 8, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ResolveThreadsIsAtLeastOne) {
+  ::unsetenv("ECA_THREADS");
+  EXPECT_GE(ThreadPool::resolve_threads(), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+  ::setenv("ECA_THREADS", "0", 1);  // non-positive env falls through
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  ::unsetenv("ECA_THREADS");
+}
+
+}  // namespace
+}  // namespace eca

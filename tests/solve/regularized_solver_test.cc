@@ -78,6 +78,32 @@ TEST(RegularizedProblem, RegularizerVanishesAtPreviousAllocation) {
   for (double g : grad) EXPECT_NEAR(g, 0.0, 1e-12);
 }
 
+// The hot-path overloads taking a cached prev-aggregate (and τ cache) must
+// agree exactly with the recomputing versions — the caches are pure
+// hoisting, not approximations.
+TEST(RegularizedProblem, CachedAggregateOverloadsMatchRecomputingOnes) {
+  Rng rng(7);
+  const RegularizedProblem p = make_random_problem(rng, 4, 6);
+  Vec x(p.num_clouds * p.num_users);
+  for (auto& v : x) v = rng.uniform(0.5, 2.0);
+  const Vec prev_agg = p.prev_aggregate();
+  Vec prev_agg_into;
+  p.prev_aggregate_into(prev_agg_into);
+  ASSERT_EQ(prev_agg.size(), prev_agg_into.size());
+  for (std::size_t i = 0; i < prev_agg.size(); ++i) {
+    EXPECT_EQ(prev_agg[i], prev_agg_into[i]);
+  }
+  EXPECT_EQ(p.objective(x), p.objective(x, prev_agg));
+  Vec tau_cache(p.num_users);
+  for (std::size_t j = 0; j < p.num_users; ++j) tau_cache[j] = p.tau(j);
+  const Vec grad = p.gradient(x);
+  Vec grad_into(x.size());
+  p.gradient_into(x, prev_agg, tau_cache, grad_into);
+  for (std::size_t idx = 0; idx < grad.size(); ++idx) {
+    EXPECT_EQ(grad[idx], grad_into[idx]) << "grad[" << idx << "]";
+  }
+}
+
 TEST(RegularizedSolver, SatisfiesConstraintsOnRandomInstances) {
   Rng rng(1);
   for (int trial = 0; trial < 5; ++trial) {
