@@ -45,7 +45,30 @@ inline std::int64_t read_positive_scale_knob(const char* name,
   return value;
 }
 
+// Fail-fast validation of a threading knob: when `name` is set in the
+// environment it must parse as an integer >= 1, otherwise the process exits
+// with status 2. env_int()'s warn-and-fallback is the wrong contract here —
+// a typo like ECA_SLOT_THREADS=eight or =0 would silently run the wrong
+// experiment (serial where parallel was requested, or vice versa), and
+// threading misconfiguration should be loud. Unset is fine: the defaults
+// (ECA_THREADS: hardware concurrency, ECA_SLOT_THREADS: 1) apply.
+inline void validate_thread_knob(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) {
+    std::fprintf(stderr,
+                 "error: %s='%s' is invalid (must be an integer >= 1; unset "
+                 "it to use the default)\n",
+                 name, value);
+    std::exit(2);
+  }
+}
+
 inline BenchScale read_scale() {
+  validate_thread_knob("ECA_THREADS");
+  validate_thread_knob("ECA_SLOT_THREADS");
   BenchScale scale;
   scale.users =
       static_cast<std::size_t>(read_positive_scale_knob("ECA_USERS", 30, 1));

@@ -1,21 +1,32 @@
 // Solver microbenchmarks + the repo's performance trajectory harness.
 //
 // Always runs a timing pass and emits `BENCH_solvers.json` (path override:
-// ECA_BENCH_JSON) so future PRs have numbers to regress against:
+// ECA_BENCH_JSON, schema eca.bench_solvers.v2) so future PRs have numbers
+// to regress against:
 //  * Newton hot path — a slot sequence of P2 solves with a reused
 //    NewtonWorkspace (the OnlineApprox inner loop): slots/sec, Newton
 //    iterations, ns per Newton iteration.
 //  * Experiment runner — run_experiment at the ECA_* default scale with 1
 //    thread vs ECA_THREADS (default: hardware concurrency): wall seconds,
 //    speedup, and a bit-identical check on the merged statistics.
+//  * Slot sweep — per-slot solve time vs user count J (I = 15 fixed,
+//    J = 64 doubling up to ECA_SWEEP_MAX_USERS, default 8192;
+//    ECA_SWEEP_SLOTS random-walk slots per point, default 4): slot ms with
+//    1 intra-slot thread vs N (ECA_SLOT_THREADS if set, else 8), speedup,
+//    warm vs cold Newton iterations, and a bit-identical cross-check of the
+//    1-thread and N-thread trajectories.
+//  * Warm start — a fixed random-walk trajectory solved warm and cold:
+//    mean Newton iterations per slot and the relative reduction.
 //
 // The original google-benchmark suite (InteriorPointLp / PdhgLp /
 // RegularizedSolver scaling) still runs when ECA_GBENCH=1.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "algo/baselines.h"
 #include "algo/online_approx.h"
@@ -206,8 +217,143 @@ RunnerPerf time_runner(const bench::BenchScale& scale) {
   return perf;
 }
 
+// ---------------------------------------------------------------------------
+// Slot sweep + warm start (v2 sections)
+// ---------------------------------------------------------------------------
+
+struct TrajectoryPerf {
+  double seconds = 0.0;
+  long long newton_iterations = 0;
+  std::size_t slots = 0;
+  linalg::Vec final_x;
+};
+
+// Solves a random-walk slot trajectory (costs perturbed ±10% per slot, prev
+// chained from the previous optimum) with one workspace, as OnlineApprox
+// does. The walk RNG is re-seeded per call so every configuration sees
+// byte-identical problems.
+TrajectoryPerf run_trajectory(const RegularizedProblem& base,
+                              std::size_t slots, int slot_threads,
+                              bool warm_start, std::uint64_t walk_seed) {
+  RegularizedOptions opt;
+  opt.slot_threads = slot_threads;
+  opt.warm_start = warm_start;
+  RegularizedSolver solver(opt);
+  NewtonWorkspace ws;
+  RegularizedProblem p = base;
+  Rng walk(walk_seed);
+  TrajectoryPerf perf;
+  perf.slots = slots;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < slots; ++t) {
+    const RegularizedSolution sol = solver.solve(p, ws);
+    perf.newton_iterations += sol.newton_iterations;
+    if (t + 1 == slots) perf.final_x = sol.x;
+    p.prev = sol.x;
+    for (auto& v : p.linear_cost) v *= walk.uniform(0.9, 1.1);
+  }
+  perf.seconds = seconds_since(start);
+  return perf;
+}
+
+struct SweepPoint {
+  std::size_t users = 0;
+  double slot_ms_1_thread = 0.0;
+  double slot_ms_n_threads = 0.0;
+  double speedup = 0.0;
+  long long newton_iters_warm = 0;
+  long long newton_iters_cold = 0;
+  bool bit_identical = false;
+};
+
+struct SweepPerf {
+  std::size_t clouds = 15;
+  std::size_t slots_per_point = 0;
+  std::size_t threads = 0;
+  std::vector<SweepPoint> points;
+};
+
+SweepPerf time_slot_sweep(const bench::BenchScale& scale) {
+  SweepPerf sweep;
+  const auto max_users = static_cast<std::size_t>(
+      bench::read_positive_scale_knob("ECA_SWEEP_MAX_USERS", 8192, 1));
+  sweep.slots_per_point = static_cast<std::size_t>(
+      bench::read_positive_scale_knob("ECA_SWEEP_SLOTS", 4, 1));
+  // N-thread leg: honor an explicit ECA_SLOT_THREADS, else the issue's
+  // reference point of 8 intra-slot threads.
+  sweep.threads = ThreadPool::resolve_slot_threads(0);
+  if (sweep.threads == 1) sweep.threads = 8;
+  for (std::size_t users = 64; users <= max_users; users *= 2) {
+    Rng rng(scale.seed + users);
+    const RegularizedProblem base = random_p2(rng, sweep.clouds, users);
+    const std::uint64_t walk_seed = scale.seed + 7 * users + 1;
+    const TrajectoryPerf one =
+        run_trajectory(base, sweep.slots_per_point, 1, true, walk_seed);
+    const TrajectoryPerf many =
+        run_trajectory(base, sweep.slots_per_point,
+                       static_cast<int>(sweep.threads), true, walk_seed);
+    const TrajectoryPerf cold =
+        run_trajectory(base, sweep.slots_per_point, 1, false, walk_seed);
+    SweepPoint point;
+    point.users = users;
+    point.slot_ms_1_thread =
+        one.seconds * 1e3 / static_cast<double>(one.slots);
+    point.slot_ms_n_threads =
+        many.seconds * 1e3 / static_cast<double>(many.slots);
+    point.speedup =
+        many.seconds > 0.0 ? one.seconds / many.seconds : 0.0;
+    point.newton_iters_warm = one.newton_iterations;
+    point.newton_iters_cold = cold.newton_iterations;
+    point.bit_identical =
+        one.newton_iterations == many.newton_iterations &&
+        one.final_x == many.final_x;
+    sweep.points.push_back(point);
+    std::printf(
+        "sweep J=%5zu: %.2f ms/slot (1 thr), %.2f ms/slot (%zu thr), "
+        "%.2fx, iters warm/cold %lld/%lld, bit_identical=%s\n",
+        users, point.slot_ms_1_thread, point.slot_ms_n_threads,
+        sweep.threads, point.speedup, point.newton_iters_warm,
+        point.newton_iters_cold, point.bit_identical ? "true" : "false");
+  }
+  return sweep;
+}
+
+struct WarmStartPerf {
+  std::size_t clouds = 15;
+  std::size_t users = 0;
+  std::size_t slots = 0;
+  double mean_iters_warm = 0.0;
+  double mean_iters_cold = 0.0;
+  double iteration_reduction = 0.0;
+};
+
+WarmStartPerf time_warm_start(const bench::BenchScale& scale) {
+  WarmStartPerf perf;
+  perf.users = 300;  // paper-scale user count
+  // Long enough that slot 0 (necessarily cold in both runs) does not
+  // dilute the per-slot mean.
+  perf.slots = 24;
+  Rng rng(scale.seed + 17);
+  const RegularizedProblem base = random_p2(rng, perf.clouds, perf.users);
+  const std::uint64_t walk_seed = scale.seed + 23;
+  const TrajectoryPerf warm =
+      run_trajectory(base, perf.slots, 1, true, walk_seed);
+  const TrajectoryPerf cold =
+      run_trajectory(base, perf.slots, 1, false, walk_seed);
+  perf.mean_iters_warm = static_cast<double>(warm.newton_iterations) /
+                         static_cast<double>(perf.slots);
+  perf.mean_iters_cold = static_cast<double>(cold.newton_iterations) /
+                         static_cast<double>(perf.slots);
+  perf.iteration_reduction =
+      perf.mean_iters_cold > 0.0
+          ? 1.0 - perf.mean_iters_warm / perf.mean_iters_cold
+          : 0.0;
+  return perf;
+}
+
 void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
-               const RunnerPerf& runner) {
+               const RunnerPerf& runner, const SweepPerf& sweep,
+               const WarmStartPerf& warm) {
   const std::string path = env_string("ECA_BENCH_JSON", "BENCH_solvers.json");
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -227,7 +373,7 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
                                    runner.seconds_n_threads
                              : 0.0;
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"eca.bench_solvers.v1\",\n");
+  std::fprintf(out, "  \"schema\": \"eca.bench_solvers.v2\",\n");
   std::fprintf(out,
                "  \"scale\": {\"users\": %zu, \"slots\": %zu, "
                "\"repetitions\": %d, \"seed\": %llu},\n",
@@ -244,10 +390,33 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
   std::fprintf(out,
                "  \"runner\": {\"threads\": %zu, \"seconds_1_thread\": %.4f, "
                "\"seconds_n_threads\": %.4f, \"speedup\": %.3f, "
-               "\"bit_identical\": %s}\n",
+               "\"bit_identical\": %s},\n",
                runner.threads, runner.seconds_one_thread,
                runner.seconds_n_threads, speedup,
                runner.bit_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"slot_sweep\": {\"clouds\": %zu, \"slots_per_point\": %zu, "
+               "\"threads\": %zu, \"points\": [\n",
+               sweep.clouds, sweep.slots_per_point, sweep.threads);
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const SweepPoint& p = sweep.points[i];
+    std::fprintf(out,
+                 "    {\"users\": %zu, \"slot_ms_1_thread\": %.3f, "
+                 "\"slot_ms_n_threads\": %.3f, \"speedup\": %.3f, "
+                 "\"newton_iters_warm\": %lld, \"newton_iters_cold\": %lld, "
+                 "\"bit_identical\": %s}%s\n",
+                 p.users, p.slot_ms_1_thread, p.slot_ms_n_threads, p.speedup,
+                 p.newton_iters_warm, p.newton_iters_cold,
+                 p.bit_identical ? "true" : "false",
+                 i + 1 < sweep.points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
+  std::fprintf(out,
+               "  \"warm_start\": {\"clouds\": %zu, \"users\": %zu, "
+               "\"slots\": %zu, \"mean_iters_warm\": %.3f, "
+               "\"mean_iters_cold\": %.3f, \"iteration_reduction\": %.3f}\n",
+               warm.clouds, warm.users, warm.slots, warm.mean_iters_warm,
+               warm.mean_iters_cold, warm.iteration_reduction);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
@@ -258,6 +427,10 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
               runner.threads, runner.seconds_one_thread,
               runner.seconds_n_threads, speedup,
               runner.bit_identical ? "true" : "false");
+  std::printf("warm start (J=%zu, %zu slots): %.1f -> %.1f iters/slot "
+              "(%.0f%% fewer)\n",
+              warm.users, warm.slots, warm.mean_iters_cold,
+              warm.mean_iters_warm, 100.0 * warm.iteration_reduction);
 }
 
 }  // namespace
@@ -268,7 +441,9 @@ int main(int argc, char** argv) {
 
   const NewtonPerf newton = time_newton_path(scale);
   const RunnerPerf runner = time_runner(scale);
-  emit_json(scale, newton, runner);
+  const SweepPerf sweep = time_slot_sweep(scale);
+  const WarmStartPerf warm = time_warm_start(scale);
+  emit_json(scale, newton, runner, sweep, warm);
 
   if (eca::env_bool("ECA_GBENCH", false)) {
     benchmark::Initialize(&argc, argv);

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full local gate: tier-1 build + tests, ThreadSanitizer smoke of the
+# parallel code paths, and a quick-mode bench sweep that exercises the
+# BENCH_solvers.json emitter end to end.
+#
+#   scripts/check.sh                 # everything
+#   ECA_CHECK_SKIP_TSAN=1 scripts/check.sh   # skip the TSan build (slow)
+#
+# Build directories: build/ (tier-1, Release) and build-tsan/ (TSan smoke).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${ECA_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tsan-smoke: build with -DECA_SANITIZE=thread =="
+  cmake -B build-tsan -S . -DECA_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs" \
+    --target test_runner_determinism test_slot_parallel
+  echo "== tsan-smoke: ctest -L tsan-smoke =="
+  ctest --test-dir build-tsan -L tsan-smoke --output-on-failure
+else
+  echo "== tsan-smoke: skipped (ECA_CHECK_SKIP_TSAN=1) =="
+fi
+
+echo "== bench: quick-mode sweep =="
+ECA_SWEEP_MAX_USERS=256 ECA_SWEEP_SLOTS=2 ECA_USERS=15 ECA_SLOTS=8 \
+  ECA_REPS=1 ECA_BENCH_JSON=build/BENCH_solvers.quick.json \
+  ./build/bench/bench_solvers
+
+echo "== check.sh: all gates passed =="

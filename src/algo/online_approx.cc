@@ -43,6 +43,10 @@ solve::RegularizedProblem OnlineApprox::build_subproblem(
 
 void OnlineApprox::reset(const Instance& /*instance*/) {
   certificate_.clear();
+  // A reset starts an unrelated trajectory: the duals remembered by the
+  // workspace belong to the previous run's last slot and must not seed the
+  // next run's first solve (repetitions would otherwise not be independent).
+  workspace_.invalidate_warm_start();
 }
 
 Allocation OnlineApprox::decide(const Instance& instance, std::size_t t,

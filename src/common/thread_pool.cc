@@ -65,6 +65,34 @@ std::size_t ThreadPool::resolve_threads(int requested) {
   return hw > 0 ? hw : 1;
 }
 
+std::size_t ThreadPool::resolve_slot_threads(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const std::int64_t from_env = env_int("ECA_SLOT_THREADS", 0);
+  if (from_env > 0) return static_cast<std::size_t>(from_env);
+  return 1;
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t tasks = std::min(workers_.size(), count);
+  for (std::size_t w = 0; w < tasks; ++w) {
+    submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
 void ThreadPool::parallel_for(std::size_t count, std::size_t threads,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;

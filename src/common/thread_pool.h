@@ -43,6 +43,24 @@ class ThreadPool {
   // and positive, else hardware_concurrency (min 1).
   static std::size_t resolve_threads(int requested = 0);
 
+  // Intra-slot (solver) thread policy: `requested` if positive, else
+  // ECA_SLOT_THREADS if set and positive, else 1. The default is serial —
+  // the experiment runner already parallelizes across repetitions, and
+  // nesting slot-level workers under ECA_THREADS workers would
+  // oversubscribe; slot parallelism is opt-in for single-trajectory runs.
+  static std::size_t resolve_slot_threads(int requested = 0);
+
+  // Runs fn(i) for every i in [0, count) on this pool's workers and blocks
+  // until all calls return. Unlike the static parallel_for, the pool (and
+  // its threads) persist across calls, so the per-call cost is one task
+  // submission per worker rather than thread spawn/join — the shape needed
+  // by callers dispatching many small parallel regions (the per-iteration
+  // assembly passes of RegularizedSolver). fn must be safe to run
+  // concurrently for distinct i; indices are handed out via an atomic
+  // cursor, so callers needing determinism must write only to
+  // index-addressed buffers.
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
+
   // Runs fn(i) for every i in [0, count). With `threads` <= 1 (or count <=
   // 1) everything executes inline on the caller's thread in index order —
   // the exact serial path. Otherwise workers pull indices from a shared

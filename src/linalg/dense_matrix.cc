@@ -54,6 +54,39 @@ void DenseMatrix::multiply_into(const DenseMatrix& other,
   ECA_CHECK(out.rows() == rows_ && out.cols() == other.cols_,
             "matmul output shape mismatch");
   out.set_zero();
+  // Cache-blocked i-k-j: a kBlock×kBlock tile of `other` is reused by every
+  // row of this operand before the next tile is touched, and the inner
+  // j-loop is a contiguous fused multiply-add over the output row.
+  constexpr std::size_t kBlock = 64;
+  const std::size_t n_cols = other.cols_;
+  const double* __restrict a_data = data_.data();
+  const double* __restrict b_data = other.data_.data();
+  double* __restrict c_data = out.data_.data();
+  for (std::size_t kb = 0; kb < cols_; kb += kBlock) {
+    const std::size_t ke = kb + kBlock < cols_ ? kb + kBlock : cols_;
+    for (std::size_t jb = 0; jb < n_cols; jb += kBlock) {
+      const std::size_t je = jb + kBlock < n_cols ? jb + kBlock : n_cols;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double* __restrict arow = a_data + r * cols_;
+        double* __restrict crow = c_data + r * n_cols;
+        for (std::size_t k = kb; k < ke; ++k) {
+          const double a = arow[k];
+          if (a == 0.0) continue;
+          const double* __restrict brow = b_data + k * n_cols;
+          ECA_SIMD
+          for (std::size_t j = jb; j < je; ++j) crow[j] += a * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void DenseMatrix::multiply_into_reference(const DenseMatrix& other,
+                                          DenseMatrix& out) const {
+  ECA_CHECK(cols_ == other.rows_, "matmul dimension mismatch");
+  ECA_CHECK(out.rows() == rows_ && out.cols() == other.cols_,
+            "matmul output shape mismatch");
+  out.set_zero();
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = (*this)(r, k);

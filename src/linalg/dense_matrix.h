@@ -34,6 +34,9 @@ class DenseMatrix {
   }
 
   [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  // Raw row-major storage for kernel calls (linalg::syrk_scaled_acc and
+  // friends) that operate on pointer/stride views.
+  [[nodiscard]] double* mutable_data() { return data_.data(); }
 
   // out = this * x
   [[nodiscard]] Vec multiply(const Vec& x) const;
@@ -41,8 +44,14 @@ class DenseMatrix {
   [[nodiscard]] Vec multiply_transpose(const Vec& x) const;
   [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
   // out = this * other into a pre-shaped caller-owned matrix
-  // (allocation-free matmul for solver workspaces).
+  // (allocation-free matmul for solver workspaces). Cache-blocked i-k-j
+  // kernel: the result matches multiply_into_reference to roundoff
+  // (1e-12 relative; blocking reassociates the k-sums).
   void multiply_into(const DenseMatrix& other, DenseMatrix& out) const;
+  // Scalar reference path of multiply_into (the original triple loop with
+  // serial k-order accumulation); kept selectable for testing.
+  void multiply_into_reference(const DenseMatrix& other,
+                               DenseMatrix& out) const;
   [[nodiscard]] DenseMatrix transpose() const;
 
   void add_scaled(const DenseMatrix& other, double alpha);

@@ -1,0 +1,73 @@
+#include "linalg/kernels.h"
+
+#include "linalg/vector_ops.h"  // ECA_SIMD macros
+
+namespace eca::linalg {
+
+void syrk_scaled_acc(const double* b, std::size_t rows, std::size_t ldb,
+                     const double* w, std::size_t j0, std::size_t j1,
+                     double* out, std::size_t ldout) {
+  // Column-blocked so the active slice of every row stays in L1 while the
+  // (r, c) pair loop sweeps it; within a block each (r, c) dot product is a
+  // SIMD reduction over contiguous memory.
+  constexpr std::size_t kBlock = 256;
+  for (std::size_t jb = j0; jb < j1; jb += kBlock) {
+    const std::size_t je = jb + kBlock < j1 ? jb + kBlock : j1;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* __restrict br = b + r * ldb;
+      double* __restrict orow = out + r * ldout;
+      for (std::size_t c = 0; c <= r; ++c) {
+        const double* __restrict bc = b + c * ldb;
+        double acc = 0.0;
+        ECA_SIMD_REDUCTION(+, acc)
+        for (std::size_t j = jb; j < je; ++j) acc += w[j] * br[j] * bc[j];
+        orow[c] += acc;
+      }
+    }
+  }
+}
+
+void syrk_scaled_acc_reference(const double* b, std::size_t rows,
+                               std::size_t ldb, const double* w,
+                               std::size_t j0, std::size_t j1, double* out,
+                               std::size_t ldout) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      double acc = 0.0;
+      for (std::size_t j = j0; j < j1; ++j) {
+        acc += w[j] * b[r * ldb + j] * b[c * ldb + j];
+      }
+      out[r * ldout + c] += acc;
+    }
+  }
+}
+
+void symmetrize_from_lower(double* out, std::size_t n, std::size_t ldout) {
+  for (std::size_t r = 1; r < n; ++r) {
+    for (std::size_t c = 0; c < r; ++c) out[c * ldout + r] = out[r * ldout + c];
+  }
+}
+
+void gemv_cols_acc(const double* b, std::size_t rows, std::size_t ldb,
+                   const double* x, std::size_t j0, std::size_t j1,
+                   double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* __restrict br = b + r * ldb;
+    double acc = 0.0;
+    ECA_SIMD_REDUCTION(+, acc)
+    for (std::size_t j = j0; j < j1; ++j) acc += br[j] * x[j];
+    out[r] += acc;
+  }
+}
+
+void gemv_cols_acc_reference(const double* b, std::size_t rows,
+                             std::size_t ldb, const double* x, std::size_t j0,
+                             std::size_t j1, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (std::size_t j = j0; j < j1; ++j) acc += b[r * ldb + j] * x[j];
+    out[r] += acc;
+  }
+}
+
+}  // namespace eca::linalg

@@ -1,0 +1,54 @@
+// Blocked / vectorized compute kernels used by the solver hot paths.
+//
+// Each kernel has a `_reference` twin carrying the plain scalar loop; the
+// optimized path must agree with it to 1e-12 relative (reductions may
+// reassociate under SIMD). tests/linalg/kernels_test.cc enforces the
+// contract on random inputs.
+//
+// The central kernel is the scaled symmetric rank-k (syrk-style) update
+//
+//   out[r][c] += Σ_{j=j0}^{j1-1} w[j] · b[r][j] · b[c][j]      (r ≥ c)
+//
+// i.e. out += B_{:,j0:j1} · diag(w) · B_{:,j0:j1}ᵀ restricted to the lower
+// triangle. RegularizedSolver uses it to assemble the Schur-complement
+// matrix P = B diag(t/d) Bᵀ of the reduced Newton system, accumulating one
+// call per fixed-size column chunk so the chunked parallel assembly stays
+// bit-identical across thread counts (partials are reduced in chunk
+// order). Only the lower triangle is written — callers mirror it with
+// symmetrize_from_lower once all chunks are reduced.
+#pragma once
+
+#include <cstddef>
+
+namespace eca::linalg {
+
+// Lower-triangular scaled rank-k accumulation over columns [j0, j1).
+// `b` is row-major with `rows` rows and leading dimension `ldb`; `w` is
+// indexed absolutely (w[j], not w[j - j0]); `out` is row-major `rows`×`rows`
+// with leading dimension `ldout`, accumulated into (not zeroed).
+void syrk_scaled_acc(const double* b, std::size_t rows, std::size_t ldb,
+                     const double* w, std::size_t j0, std::size_t j1,
+                     double* out, std::size_t ldout);
+
+// Scalar reference path (identical contract, serial j-order accumulation).
+void syrk_scaled_acc_reference(const double* b, std::size_t rows,
+                               std::size_t ldb, const double* w,
+                               std::size_t j0, std::size_t j1, double* out,
+                               std::size_t ldout);
+
+// Copies the strict lower triangle onto the upper one: out[c][r] = out[r][c]
+// for r > c.
+void symmetrize_from_lower(double* out, std::size_t n, std::size_t ldout);
+
+// out[r] += Σ_{j=j0}^{j1-1} b[r][j] · x[j] for every row r — the tall
+// mat-vec against a column slice (absolute indexing, accumulated). Used by
+// the per-chunk Woodbury/Schur right-hand-side assembly.
+void gemv_cols_acc(const double* b, std::size_t rows, std::size_t ldb,
+                   const double* x, std::size_t j0, std::size_t j1,
+                   double* out);
+
+void gemv_cols_acc_reference(const double* b, std::size_t rows,
+                             std::size_t ldb, const double* x, std::size_t j0,
+                             std::size_t j1, double* out);
+
+}  // namespace eca::linalg

@@ -1,7 +1,18 @@
 // Dense vector operations over std::vector<double>.
 //
 // The solver suite represents vectors as plain std::vector<double>; these
-// free functions provide the (small) set of BLAS-1 style operations it needs.
+// free functions provide the (small) set of BLAS-1 style operations it
+// needs. The primary implementations are written against __restrict
+// pointers with `#pragma omp simd` hints (activated by -fopenmp-simd, see
+// the top-level CMakeLists; without the flag the pragmas are inert and the
+// loops still auto-vectorize where legal). Reductions (dot, sum, norms)
+// permit reassociation under the pragma, so their result can differ from a
+// strictly serial accumulation at roundoff level — every caller that needs
+// run-to-run determinism gets it, because the kernel itself is
+// deterministic for a fixed build; callers that need the *serial* ordering
+// can use the `reference` namespace, which carries the original scalar
+// loops and is compared against the vectorized paths in
+// tests/linalg/kernels_test.cc.
 #pragma once
 
 #include <cmath>
@@ -10,49 +21,86 @@
 
 #include "common/check.h"
 
+#if defined(_OPENMP) || defined(__GNUC__) || defined(__clang__)
+// _Pragma takes exactly one string literal (no concatenation), so the
+// reduction clause is assembled by stringizing the whole directive.
+#define ECA_PRAGMA(directive) _Pragma(#directive)
+#define ECA_SIMD ECA_PRAGMA(omp simd)
+#define ECA_SIMD_REDUCTION(op, var) ECA_PRAGMA(omp simd reduction(op : var))
+#else
+#define ECA_SIMD
+#define ECA_SIMD_REDUCTION(op, var)
+#endif
+
 namespace eca::linalg {
 
 using Vec = std::vector<double>;
 
 inline double dot(const Vec& a, const Vec& b) {
   ECA_DCHECK(a.size() == b.size());
+  const double* __restrict ap = a.data();
+  const double* __restrict bp = b.data();
+  const std::size_t n = a.size();
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  ECA_SIMD_REDUCTION(+, acc)
+  for (std::size_t i = 0; i < n; ++i) acc += ap[i] * bp[i];
   return acc;
 }
 
 inline double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
 
 inline double norm_inf(const Vec& a) {
+  const double* __restrict ap = a.data();
+  const std::size_t n = a.size();
   double m = 0.0;
-  for (double x : a) m = std::max(m, std::abs(x));
+  ECA_SIMD_REDUCTION(max, m)
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(ap[i]));
   return m;
 }
 
 // y += alpha * x
 inline void axpy(double alpha, const Vec& x, Vec& y) {
   ECA_DCHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  ECA_SIMD
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
 }
 
 // y = alpha * x + beta * y (fused scale-and-accumulate, no temporary).
 inline void axpby(double alpha, const Vec& x, double beta, Vec& y) {
   ECA_DCHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
+  const double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  ECA_SIMD
+  for (std::size_t i = 0; i < n; ++i) yp[i] = alpha * xp[i] + beta * yp[i];
 }
 
 // out = a - b into a caller-owned buffer (allocation-free `sub`).
 inline void sub_into(const Vec& a, const Vec& b, Vec& out) {
   ECA_DCHECK(a.size() == b.size() && a.size() == out.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  const double* __restrict ap = a.data();
+  const double* __restrict bp = b.data();
+  double* __restrict op = out.data();
+  const std::size_t n = a.size();
+  ECA_SIMD
+  for (std::size_t i = 0; i < n; ++i) op[i] = ap[i] - bp[i];
 }
 
 inline void fill(Vec& x, double value) {
-  for (double& v : x) v = value;
+  double* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  ECA_SIMD
+  for (std::size_t i = 0; i < n; ++i) xp[i] = value;
 }
 
 inline void scale(Vec& x, double alpha) {
-  for (double& v : x) v *= alpha;
+  double* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  ECA_SIMD
+  for (std::size_t i = 0; i < n; ++i) xp[i] *= alpha;
 }
 
 inline Vec add(const Vec& a, const Vec& b) {
@@ -65,7 +113,7 @@ inline Vec add(const Vec& a, const Vec& b) {
 inline Vec sub(const Vec& a, const Vec& b) {
   ECA_DCHECK(a.size() == b.size());
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  sub_into(a, b, out);
   return out;
 }
 
@@ -77,17 +125,66 @@ inline Vec scaled(const Vec& a, double alpha) {
 
 inline double distance_inf(const Vec& a, const Vec& b) {
   ECA_DCHECK(a.size() == b.size());
+  const double* __restrict ap = a.data();
+  const double* __restrict bp = b.data();
+  const std::size_t n = a.size();
   double m = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    m = std::max(m, std::abs(a[i] - b[i]));
-  }
+  ECA_SIMD_REDUCTION(max, m)
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(ap[i] - bp[i]));
   return m;
 }
 
 inline void clamp_nonnegative(Vec& x) {
-  for (double& v : x) {
-    if (v < 0.0) v = 0.0;
+  double* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  ECA_SIMD
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xp[i] < 0.0) xp[i] = 0.0;
   }
+}
+
+inline double sum(const Vec& x) {
+  const double* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  double acc = 0.0;
+  ECA_SIMD_REDUCTION(+, acc)
+  for (std::size_t i = 0; i < n; ++i) acc += xp[i];
+  return acc;
+}
+
+// Strictly serial scalar implementations of the fused loops above. These
+// define the reference accumulation order: the vectorized paths must agree
+// elementwise exactly (pure maps) or to 1e-12 relative (reductions, which
+// may reassociate). Kept for testing and for callers that need the exact
+// serial ordering.
+namespace reference {
+
+inline double dot(const Vec& a, const Vec& b) {
+  ECA_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline double norm_inf(const Vec& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+inline void axpy(double alpha, const Vec& x, Vec& y) {
+  ECA_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void axpby(double alpha, const Vec& x, double beta, Vec& y) {
+  ECA_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+inline void sub_into(const Vec& a, const Vec& b, Vec& out) {
+  ECA_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
 }
 
 inline double sum(const Vec& x) {
@@ -95,5 +192,7 @@ inline double sum(const Vec& x) {
   for (double v : x) acc += v;
   return acc;
 }
+
+}  // namespace reference
 
 }  // namespace eca::linalg

@@ -12,16 +12,30 @@
 // delay coefficient, pre-multiplied by the caller's weights), and c_i / b_i
 // are the weighted reconfiguration / migration prices.
 //
-// Method: primal log-barrier path following with damped Newton steps. The
-// barrier Hessian is diagonal + a rank-(I+J+1) term spanned by the cloud
+// Method: primal-dual interior point with damped Newton steps. The barrier
+// Hessian is diagonal + a rank-(I+J+1) term spanned by the cloud
 // indicators u_i, the user indicators a_j and the all-ones vector e (the
-// complement-capacity rows are e − u_i), so each Newton solve reduces to an
-// (I+J+1)×(I+J+1) dense system — this is what lets the online algorithm run
-// in milliseconds per slot instead of requiring an external NLP solver.
+// complement-capacity rows are e − u_i). The Woodbury reduction of each
+// Newton solve therefore has an (I+J+1)×(I+J+1) capacitance system — but
+// that system is itself block-structured: its J×J user block is DIAGONAL
+// (the a_j directions couple only through the borders), so one more Schur
+// complement reduces the dense solve to (I+1)×(I+1). Per Newton iteration
+// the solver does O(I·J) assembly work (chunk-parallel, see below), one
+// O(I²·J) syrk-style accumulation, and an (I+1)³ factorization — this is
+// what lets a slot with thousands of users solve in milliseconds.
+//
+// Intra-slot parallelism: the per-iteration assembly passes partition the
+// J users into fixed-size column chunks (RegularizedOptions::chunk_users).
+// Workers write only chunk-indexed buffers and the caller reduces partials
+// serially in chunk order, so the solve is bit-identical for every thread
+// count (RegularizedOptions::slot_threads / ECA_SLOT_THREADS; default 1 =
+// the serial path, which runs the same chunked reduction order).
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 #include "solve/lp_problem.h"
@@ -87,41 +101,95 @@ struct RegularizedOptions {
   int max_newton_per_stage = 60;
   double newton_tolerance = 1e-24;  // stagnation guard on the decrement λ²/2
   bool verbose = false;
+  // Cross-slot warm starting: start the path-following loop from a
+  // feasibility-repaired blend of x*_{t-1} (the problem's `prev`) and the
+  // cold analytic-center start, with the duals carried over from the last
+  // successful solve on this workspace. The barrier parameter then
+  // continues from the warm point's duality-gap estimate (its average
+  // complementarity) instead of restarting at initial_mu — see
+  // DESIGN.md §7. Falls back to the cold start whenever the repaired warm
+  // point is not strictly interior or no previous duals are available.
+  bool warm_start = true;
+  // Blend weight toward the cold interior point during warm-point repair
+  // (x_warm = (1-w)·prev + w·cold). Pulls boundary-hugging previous optima
+  // far enough inside for the barrier to be finite.
+  double warm_blend = 0.1;
+  // Intra-slot worker threads for the chunked assembly passes: > 0 wins,
+  // 0 defers to ECA_SLOT_THREADS, else 1 (serial). Results are
+  // bit-identical for every value.
+  int slot_threads = 0;
+  // Users per assembly chunk (fixed partition of the J columns). The value
+  // changes the reduction order — and thus roundoff — so keep it constant
+  // across runs that must agree bitwise; it does NOT depend on
+  // slot_threads, which is what makes thread counts interchangeable.
+  int chunk_users = 128;
 };
 
 // Reusable scratch for RegularizedSolver::solve — every vector, matrix and
-// LU buffer the Newton path-following loop touches. After `resize()` the
-// iteration loop performs zero heap allocations; callers solving a
-// sequence of same-shaped problems (OnlineApprox: one P2 per slot) should
-// hold one workspace across solves, which makes `resize` a no-op and the
-// whole solve allocation-free apart from the returned solution vectors.
+// LU buffer the Newton path-following loop touches, plus the per-chunk
+// partial buffers of the parallel assembly and the carried-over duals of
+// the warm start. After `resize()` the serial (slot_threads <= 1) iteration
+// loop performs zero heap allocations; callers solving a sequence of
+// same-shaped problems (OnlineApprox: one P2 per slot) should hold one
+// workspace across solves, which makes `resize` a no-op, the whole solve
+// allocation-free apart from the returned solution vectors, and warm
+// starting possible (the workspace remembers the previous slot's duals).
 struct NewtonWorkspace {
-  void resize(std::size_t num_clouds, std::size_t num_users);
+  void resize(std::size_t num_clouds, std::size_t num_users,
+              std::size_t chunk_users = 128);
+
+  // Forget the previous solve's duals so the next solve cold-starts; call
+  // when starting an unrelated trajectory with the same shape (e.g.
+  // OnlineApprox::reset between repetitions).
+  void invalidate_warm_start() { warm_valid = false; }
+
+  // Makes sure `pool` has exactly `threads` workers (no-op for <= 1).
+  void ensure_pool(std::size_t threads);
+
+  [[nodiscard]] std::size_t num_chunks() const { return num_chunks_; }
+  [[nodiscard]] std::size_t chunk_users() const { return chunk_; }
 
   // Iterates (primal x, duals) and the best-KKT fallback copies.
   Vec x, delta, theta, rho, kappa;
   Vec best_x, best_delta, best_theta, best_rho, best_kappa;
-  // Newton system pieces: gradient, residual, right-hand side, direction,
-  // diagonal of the condensed Hessian and its inverse.
-  Vec grad_f, r_dual, rhs, dx, diag, inv_diag;
+  // Newton system pieces: residual, right-hand side, direction, diagonal of
+  // the condensed Hessian and its inverse.
+  Vec r_dual, rhs, dx, diag, inv_diag;
   // Dual step directions.
   Vec ddelta, dtheta, drho, dkappa;
-  // Low-rank (Woodbury) reduction scratch: G = WᵀD⁻¹W accumulators and the
-  // k-dimensional solve/apply buffers (k = I + J + 1).
-  Vec row_sum, col_sum, wtr, mw, wtd;
-  // Iterative-refinement and RHS-correction buffers.
-  Vec comp_corr, residual, correction, dx_agg, dx_demand;
+  // Low-rank reduction pieces in the [u_i | a_j | e] basis: G-diagonal
+  // sums, the (I+J+1)-vector scratch wtr/mw shared by the apply passes.
+  Vec row_sum, col_sum, wtr, mw;
+  // Schur-complement pieces of the reduced solve (J-block is diagonal):
+  // t_j = θ_j/s_j, d_j = 1 + c_j t_j, w_j = t_j/d_j, the arrow middle
+  // diagonal m_i and border β_i, the border vector Q and matrix
+  // P = B diag(w) Bᵀ, and the (I+1)² Schur system with its LU.
+  Vec tj, dj, wj, wc, mvec, beta, q_vec, small_rhs;
+  linalg::DenseMatrix p_mat, s_mat;
+  linalg::Lu lu;
+  // Iterative-refinement buffer and per-cloud serial scratch.
+  Vec residual, comp_corr, rhs_i_term, recon_term, rho_except, dx_agg,
+      dx_demand;
   // Loop-invariant caches (η_i, τ_j, Xp_i).
   Vec eta_cache, tau_cache, prev_agg;
   // Linear-constraint slacks at the current x.
   Vec slack_agg, slack_demand, slack_comp, slack_cap;
-  // Reduced (I+J+1)² system and its LU factorization scratch.
-  linalg::DenseMatrix middle, g_mat, cap_system;
-  linalg::Lu lu;
+  // Per-chunk partials of the deterministic parallel assembly, indexed
+  // [chunk * I + i] / [chunk * I² + ...] / [chunk * kChunkScalars + s] and
+  // reduced serially in chunk order.
+  Vec chunk_ia, chunk_ib, chunk_pp, chunk_sc;
+  static constexpr std::size_t kChunkScalars = 4;
+  // Cross-slot warm-start state: duals of the last successful solve.
+  Vec warm_delta, warm_theta, warm_rho, warm_kappa;
+  bool warm_valid = false;
+  // Persistent worker pool for the chunked passes (null when serial).
+  std::unique_ptr<ThreadPool> pool;
 
  private:
   std::size_t clouds_ = 0;
   std::size_t users_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t num_chunks_ = 0;
 };
 
 struct RegularizedSolution {
@@ -133,6 +201,9 @@ struct RegularizedSolution {
   Vec kappa;    // capacity duals κ_i ≥ 0, size I (zero when not enforced)
   double objective_value = 0.0;
   int newton_iterations = 0;
+  // True when this solve actually started from the repaired previous-slot
+  // point (false: cold start, including every warm-start fallback).
+  bool warm_started = false;
 };
 
 class RegularizedSolver {
@@ -142,7 +213,9 @@ class RegularizedSolver {
 
   [[nodiscard]] RegularizedSolution solve(const RegularizedProblem& p) const;
   // Same, but reusing a caller-owned workspace: no allocations inside the
-  // Newton loop, and (for same-shaped problems) none during setup either.
+  // Newton loop (serial path), and (for same-shaped problems) none during
+  // setup either. A workspace that solved the previous slot also enables
+  // the cross-slot warm start (see RegularizedOptions::warm_start).
   RegularizedSolution solve(const RegularizedProblem& p,
                             NewtonWorkspace& ws) const;
 

@@ -1,0 +1,149 @@
+// Contract tests for the blocked/vectorized linalg kernels against their
+// scalar reference twins (see kernels.h / vector_ops.h): pure element maps
+// must agree exactly, reductions and blocked accumulations to 1e-12
+// relative (blocking and SIMD hints may reassociate sums).
+#include "linalg/kernels.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace eca::linalg {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+double rel_err(double got, double want) {
+  return std::abs(got - want) / (1.0 + std::abs(want));
+}
+
+Vec random_vec(Rng& rng, std::size_t n, double lo = -2.0, double hi = 2.0) {
+  Vec v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+TEST(Kernels, SyrkScaledAccMatchesReference) {
+  Rng rng(7);
+  for (const std::size_t rows : {1u, 3u, 15u}) {
+    for (const std::size_t cols : {1u, 5u, 257u, 1024u}) {
+      const Vec b = random_vec(rng, rows * cols);
+      const Vec w = random_vec(rng, cols, 0.0, 3.0);
+      // Accumulate over two column ranges to exercise the j0 > 0 offsets.
+      const std::size_t mid = cols / 2;
+      Vec fast(rows * rows, 0.5);  // nonzero start: accumulation semantics
+      Vec ref(rows * rows, 0.5);
+      syrk_scaled_acc(b.data(), rows, cols, w.data(), 0, mid, fast.data(),
+                      rows);
+      syrk_scaled_acc(b.data(), rows, cols, w.data(), mid, cols, fast.data(),
+                      rows);
+      syrk_scaled_acc_reference(b.data(), rows, cols, w.data(), 0, mid,
+                                ref.data(), rows);
+      syrk_scaled_acc_reference(b.data(), rows, cols, w.data(), mid, cols,
+                                ref.data(), rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c <= r; ++c) {
+          EXPECT_LT(rel_err(fast[r * rows + c], ref[r * rows + c]), kRelTol)
+              << rows << "x" << cols << " entry (" << r << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, SymmetrizeFromLowerMirrorsExactly) {
+  Rng rng(11);
+  const std::size_t n = 9;
+  DenseMatrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  symmetrize_from_lower(m.mutable_data(), n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_EQ(m(r, c), m(c, r)) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Kernels, GemvColsAccMatchesReference) {
+  Rng rng(13);
+  const std::size_t rows = 15;
+  const std::size_t cols = 777;
+  const Vec b = random_vec(rng, rows * cols);
+  const Vec x = random_vec(rng, cols);
+  Vec fast(rows, 1.0);
+  Vec ref(rows, 1.0);
+  gemv_cols_acc(b.data(), rows, cols, x.data(), 100, 613, fast.data());
+  gemv_cols_acc_reference(b.data(), rows, cols, x.data(), 100, 613,
+                          ref.data());
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_LT(rel_err(fast[r], ref[r]), kRelTol) << "row " << r;
+  }
+}
+
+TEST(Kernels, BlockedMultiplyIntoMatchesReference) {
+  Rng rng(17);
+  for (const auto& [m, k, n] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{3, 5, 7},
+        {65, 64, 63},
+        {130, 70, 129}}) {
+    DenseMatrix a(m, k);
+    DenseMatrix b(k, n);
+    for (std::size_t idx = 0; idx < m * k; ++idx) {
+      a.mutable_data()[idx] = rng.uniform(-1.0, 1.0);
+    }
+    for (std::size_t idx = 0; idx < k * n; ++idx) {
+      b.mutable_data()[idx] = rng.uniform(-1.0, 1.0);
+    }
+    DenseMatrix fast(m, n);
+    DenseMatrix ref(m, n);
+    a.multiply_into(b, fast);
+    a.multiply_into_reference(b, ref);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_LT(rel_err(fast(r, c), ref(r, c)), kRelTol)
+            << m << "x" << k << "x" << n << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+// Pure element maps must be bit-identical to the scalar reference; the
+// reductions may reassociate and get the 1e-12 band.
+TEST(VectorOps, VectorizedPathsMatchReference) {
+  Rng rng(19);
+  const std::size_t n = 1001;
+  const Vec a = random_vec(rng, n);
+  const Vec b = random_vec(rng, n);
+
+  EXPECT_LT(rel_err(dot(a, b), reference::dot(a, b)), kRelTol);
+  EXPECT_LT(rel_err(sum(a), reference::sum(a)), kRelTol);
+  EXPECT_EQ(norm_inf(a), reference::norm_inf(a));  // max reduction is exact
+
+  Vec y1 = b;
+  Vec y2 = b;
+  axpy(0.75, a, y1);
+  reference::axpy(0.75, a, y2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]);
+
+  y1 = b;
+  y2 = b;
+  axpby(1.5, a, -0.25, y1);
+  reference::axpby(1.5, a, -0.25, y2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]);
+
+  Vec o1(n);
+  Vec o2(n);
+  sub_into(a, b, o1);
+  reference::sub_into(a, b, o2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(o1[i], o2[i]);
+}
+
+}  // namespace
+}  // namespace eca::linalg

@@ -1,0 +1,171 @@
+// Cross-slot warm starting (RegularizedOptions::warm_start): a workspace
+// that solved slot t-1 seeds slot t from the feasibility-repaired previous
+// optimum and the carried duals. Contracts tested here:
+//   * a warm-started trajectory agrees with the cold-started one within
+//     solver tolerance, while spending strictly fewer Newton iterations;
+//   * a near-infeasible previous point triggers the cold fallback, which
+//     reproduces the warm_start=false solve bit for bit;
+//   * NewtonWorkspace::invalidate_warm_start forces the next solve cold.
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solve/regularized_solver.h"
+
+namespace eca::solve {
+namespace {
+
+// Random well-posed P2 with strictly positive regularizer prices, so the
+// objective is strongly convex and the optimum unique (warm and cold runs
+// must then land on the same point, not just the same objective).
+RegularizedProblem make_problem(Rng& rng, std::size_t num_clouds,
+                                std::size_t num_users) {
+  RegularizedProblem p;
+  p.num_clouds = num_clouds;
+  p.num_users = num_users;
+  p.demand.resize(num_users);
+  for (auto& d : p.demand) d = static_cast<double>(rng.uniform_int(1, 5));
+  const double total_demand = linalg::sum(p.demand);
+  p.capacity.assign(num_clouds,
+                    1.3 * total_demand / static_cast<double>(num_clouds));
+  p.linear_cost.resize(num_clouds * num_users);
+  for (auto& v : p.linear_cost) v = rng.uniform(0.5, 3.0);
+  p.recon_price.assign(num_clouds, 0.0);
+  for (auto& v : p.recon_price) v = rng.uniform(0.5, 2.0);
+  p.migration_price.assign(num_clouds, 0.0);
+  for (auto& v : p.migration_price) v = rng.uniform(0.5, 2.0);
+  p.prev.assign(num_clouds * num_users, 0.0);
+  for (std::size_t j = 0; j < num_users; ++j) {
+    p.prev[p.index(rng.uniform_index(num_clouds), j)] = p.demand[j];
+  }
+  return p;
+}
+
+// Random-walk trajectory: each slot perturbs the costs and carries the
+// previous optimum as prev (exactly what OnlineApprox::decide feeds P2).
+void step_problem(Rng& rng, const Vec& prev_x, RegularizedProblem& p) {
+  p.prev = prev_x;
+  for (auto& v : p.linear_cost) {
+    v = std::max(0.1, v * rng.uniform(0.85, 1.15));
+  }
+}
+
+TEST(WarmStart, TrajectoryMatchesColdWithinToleranceAndSavesIterations) {
+  constexpr std::size_t kSlots = 8;
+  Rng rng(31);
+  RegularizedProblem p = make_problem(rng, 5, 40);
+
+  RegularizedOptions warm_opt;
+  warm_opt.warm_start = true;
+  RegularizedOptions cold_opt;
+  cold_opt.warm_start = false;
+  NewtonWorkspace ws_warm;
+  NewtonWorkspace ws_cold;
+
+  int warm_iters = 0;
+  int cold_iters = 0;
+  Rng rng_walk(77);
+  for (std::size_t t = 0; t < kSlots; ++t) {
+    const RegularizedSolution warm =
+        RegularizedSolver(warm_opt).solve(p, ws_warm);
+    const RegularizedSolution cold =
+        RegularizedSolver(cold_opt).solve(p, ws_cold);
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "slot " << t;
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal) << "slot " << t;
+    // Slot 0 has no carried duals yet; afterwards every solve warm starts.
+    EXPECT_EQ(warm.warm_started, t > 0) << "slot " << t;
+    EXPECT_FALSE(cold.warm_started) << "slot " << t;
+    warm_iters += warm.newton_iterations;
+    cold_iters += cold.newton_iterations;
+    // Both runs converged to final_mu, so they sit on the same central
+    // path point up to the duality gap; the strongly convex objective
+    // makes x unique.
+    EXPECT_NEAR(warm.objective_value, cold.objective_value,
+                1e-6 * (1.0 + std::abs(cold.objective_value)))
+        << "slot " << t;
+    ASSERT_EQ(warm.x.size(), cold.x.size());
+    for (std::size_t idx = 0; idx < cold.x.size(); ++idx) {
+      EXPECT_NEAR(warm.x[idx], cold.x[idx], 1e-4 * (1.0 + cold.x[idx]))
+          << "slot " << t << " x[" << idx << "]";
+    }
+    // Advance the random walk from the COLD solution so both runs see
+    // byte-identical problems every slot.
+    step_problem(rng_walk, cold.x, p);
+  }
+  EXPECT_LT(warm_iters, cold_iters)
+      << "warm starting should save Newton iterations over " << kSlots
+      << " slots";
+}
+
+TEST(WarmStart, NearInfeasiblePreviousPointFallsBackToColdStart) {
+  Rng rng(53);
+  RegularizedProblem p1 = make_problem(rng, 4, 30);
+
+  RegularizedOptions warm_opt;  // defaults: warm_start = true
+  NewtonWorkspace ws;
+  const RegularizedSolution first = RegularizedSolver(warm_opt).solve(p1, ws);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+
+  // Second slot: prev crams far more than any capacity onto every cloud.
+  // The repaired blend keeps ~90% of that mass, so the capacity slack of
+  // the warm point is negative and the solver must fall back cold.
+  RegularizedProblem p2 = p1;
+  for (std::size_t i = 0; i < p2.num_clouds; ++i) {
+    for (std::size_t j = 0; j < p2.num_users; ++j) {
+      p2.prev[p2.index(i, j)] =
+          10.0 * p2.capacity[i] / static_cast<double>(p2.num_users);
+    }
+  }
+  const RegularizedSolution fallback = RegularizedSolver(warm_opt).solve(p2, ws);
+  ASSERT_EQ(fallback.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(fallback.warm_started);
+
+  // The fallback must be the warm_start=false solve, bit for bit.
+  RegularizedOptions cold_opt;
+  cold_opt.warm_start = false;
+  NewtonWorkspace ws_cold;
+  const RegularizedSolution cold = RegularizedSolver(cold_opt).solve(p2, ws_cold);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_EQ(fallback.newton_iterations, cold.newton_iterations);
+  ASSERT_EQ(fallback.x.size(), cold.x.size());
+  for (std::size_t idx = 0; idx < cold.x.size(); ++idx) {
+    ASSERT_EQ(fallback.x[idx], cold.x[idx]) << "x[" << idx << "]";
+  }
+  EXPECT_EQ(fallback.objective_value, cold.objective_value);
+}
+
+TEST(WarmStart, InvalidateForcesColdStart) {
+  Rng rng(59);
+  RegularizedProblem p = make_problem(rng, 3, 20);
+  RegularizedOptions opt;  // warm_start = true
+  NewtonWorkspace ws;
+  const RegularizedSolution first = RegularizedSolver(opt).solve(p, ws);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  // Carry the interior optimum as prev so the warm repair cannot fall back
+  // for feasibility reasons — this test isolates the invalidate() switch.
+  p.prev = first.x;
+  const RegularizedSolution second = RegularizedSolver(opt).solve(p, ws);
+  EXPECT_TRUE(second.warm_started);
+  ws.invalidate_warm_start();
+  const RegularizedSolution third = RegularizedSolver(opt).solve(p, ws);
+  EXPECT_FALSE(third.warm_started);
+}
+
+TEST(WarmStart, ShapeChangeInvalidatesCarriedDuals) {
+  Rng rng(61);
+  RegularizedProblem small = make_problem(rng, 3, 20);
+  RegularizedProblem big = make_problem(rng, 3, 25);
+  RegularizedOptions opt;
+  NewtonWorkspace ws;
+  ASSERT_EQ(RegularizedSolver(opt).solve(small, ws).status,
+            SolveStatus::kOptimal);
+  const RegularizedSolution after = RegularizedSolver(opt).solve(big, ws);
+  EXPECT_FALSE(after.warm_started);
+  EXPECT_EQ(after.status, SolveStatus::kOptimal);
+}
+
+}  // namespace
+}  // namespace eca::solve
