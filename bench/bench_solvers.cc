@@ -33,6 +33,7 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "solve/ipm_lp.h"
 #include "solve/pdhg_lp.h"
 #include "solve/regularized_solver.h"
@@ -411,6 +412,28 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
                  i + 1 < sweep.points.size() ? "," : "");
   }
   std::fprintf(out, "  ]},\n");
+  // Optional solver-telemetry block (absent with ECA_METRICS=off):
+  // process-lifetime registry totals over everything the harness above
+  // solved. Additive — readers of eca.bench_solvers.v2 ignore it.
+  if (obs::metrics_enabled()) {
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    std::fprintf(
+        out,
+        "  \"telemetry\": {\"solves\": %llu, \"newton_iterations\": %llu, "
+        "\"warm_starts\": %llu, \"warm_fallbacks\": %llu, "
+        "\"assembly_seconds\": %.6f, \"factor_seconds\": %.6f, "
+        "\"solve_seconds\": %.6f},\n",
+        static_cast<unsigned long long>(snap.counter("solver.solves")),
+        static_cast<unsigned long long>(
+            snap.counter("solver.newton_iterations")),
+        static_cast<unsigned long long>(snap.counter("solver.warm_starts")),
+        static_cast<unsigned long long>(
+            snap.counter("solver.warm_fallbacks")),
+        snap.double_counter("solver.assembly_seconds"),
+        snap.double_counter("solver.factor_seconds"),
+        snap.double_counter("solver.solve_seconds"));
+  }
   std::fprintf(out,
                "  \"warm_start\": {\"clouds\": %zu, \"users\": %zu, "
                "\"slots\": %zu, \"mean_iters_warm\": %.3f, "

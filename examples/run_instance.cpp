@@ -9,7 +9,13 @@
 // Together with the eca-instance text format (src/io/serialize.h) this lets
 // real traces — e.g. the actual CRAWDAD Roma taxi dataset the paper used —
 // be fed through every algorithm in the library without writing C++.
+//
+// Observability: set ECA_TELEMETRY=<path> to write the run's
+// eca.telemetry.v1 summary (per-slot cost split + solver convergence),
+// ECA_TRACE=<path> for a Chrome-trace span file, ECA_METRICS=off to turn
+// instrumentation off entirely. See README.md §Observability.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -82,6 +88,20 @@ int run(const std::string& path, const std::string& algorithm_name) {
               result.cost.reconfiguration, result.cost.migration);
   std::printf("  max constraint violation %.2e, wall %.2fs\n",
               result.max_violation, result.wall_seconds);
+  if (const char* telemetry_path = std::getenv("ECA_TELEMETRY")) {
+    if (io::save_telemetry(telemetry_path, result.telemetry)) {
+      std::printf("  telemetry (%s): %lld newton iterations, "
+                  "%zu/%zu slots warm-started -> %s\n",
+                  obs::kTelemetrySchema,
+                  result.telemetry.total_newton_iterations(),
+                  result.telemetry.warm_started_slots(),
+                  result.telemetry.slots.size(), telemetry_path);
+    } else {
+      std::fprintf(stderr, "could not write telemetry to %s\n",
+                   telemetry_path);
+      return 1;
+    }
+  }
   return 0;
 }
 

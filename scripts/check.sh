@@ -23,12 +23,23 @@ if [[ "${ECA_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan-smoke: build with -DECA_SANITIZE=thread =="
   cmake -B build-tsan -S . -DECA_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
-    --target test_runner_determinism test_slot_parallel
+    --target test_runner_determinism test_slot_parallel test_obs_parallel
   echo "== tsan-smoke: ctest -L tsan-smoke =="
   ctest --test-dir build-tsan -L tsan-smoke --output-on-failure
 else
   echo "== tsan-smoke: skipped (ECA_CHECK_SKIP_TSAN=1) =="
 fi
+
+echo "== obs: instrumented trajectory + schema validation =="
+obs_dir=build/obs-check
+rm -rf "$obs_dir" && mkdir -p "$obs_dir"
+(cd "$obs_dir" && ../examples/run_instance --demo > run.log)
+ECA_METRICS=on ECA_TRACE="$obs_dir/run.trace.json" \
+  ECA_TELEMETRY="$obs_dir/run.telemetry.json" \
+  ./build/examples/run_instance "$obs_dir/demo.instance" online-approx
+python3 scripts/validate_telemetry.py \
+  --telemetry "$obs_dir/run.telemetry.json" \
+  --trace "$obs_dir/run.trace.json"
 
 echo "== bench: quick-mode sweep =="
 ECA_SWEEP_MAX_USERS=256 ECA_SWEEP_SLOTS=2 ECA_USERS=15 ECA_SLOTS=8 \

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Schema checker for the observability artifacts.
+
+    scripts/validate_telemetry.py --telemetry run.telemetry.json \
+                                  [--trace run.trace.json]
+
+Validates:
+  * the telemetry file against schema eca.telemetry.v1 — required fields,
+    types, and the accounting invariant that the per-slot weighted cost
+    splits sum to total_cost within 1e-9 relative (float reassociation is
+    the only permitted difference);
+  * the optional Chrome-trace file: a strict JSON array, one event per
+    line, each a complete-event record ("ph":"X") with numeric ts/dur —
+    i.e. loadable by chrome://tracing and Perfetto.
+
+Exits 0 when valid, 1 with a message on the first violation.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "eca.telemetry.v1"
+REL_TOL = 1e-9
+
+RUN_FIELDS = {
+    "schema": str,
+    "algorithm": str,
+    "num_clouds": int,
+    "num_users": int,
+    "num_slots": int,
+    "total_cost": (int, float),
+    "wall_seconds": (int, float),
+    "total_newton_iterations": int,
+    "warm_started_slots": int,
+    "warm_fallback_slots": int,
+    "slots": list,
+}
+
+SLOT_FIELDS = {
+    "slot": int,
+    "cost_operation": (int, float),
+    "cost_service_quality": (int, float),
+    "cost_reconfiguration": (int, float),
+    "cost_migration": (int, float),
+}
+
+SOLVE_FIELDS = {
+    "newton_iterations": int,
+    "mu_steps": int,
+    "kkt_comp_avg": (int, float),
+    "kkt_dual_residual": (int, float),
+    "warm_started": bool,
+    "warm_fallback": bool,
+    "solve_seconds": (int, float),
+    "assembly_seconds": (int, float),
+    "factor_seconds": (int, float),
+}
+
+
+def fail(message):
+    print(f"validate_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, fields, where):
+    for name, kind in fields.items():
+        if name not in obj:
+            fail(f"{where}: missing field '{name}'")
+        value = obj[name]
+        # bool is an int subclass; require real ints where ints are expected.
+        if kind is int and isinstance(value, bool):
+            fail(f"{where}: field '{name}' must be an integer, got bool")
+        if not isinstance(value, kind):
+            fail(f"{where}: field '{name}' has type {type(value).__name__}")
+
+
+def validate_telemetry(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            run = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    check_fields(run, RUN_FIELDS, path)
+    if run["schema"] != SCHEMA:
+        fail(f"{path}: schema is '{run['schema']}', expected '{SCHEMA}'")
+    if len(run["slots"]) != run["num_slots"]:
+        fail(f"{path}: {len(run['slots'])} slot records for "
+             f"num_slots={run['num_slots']}")
+    slot_sum = 0.0
+    for index, slot in enumerate(run["slots"]):
+        where = f"{path}: slots[{index}]"
+        check_fields(slot, SLOT_FIELDS, where)
+        if slot["slot"] != index:
+            fail(f"{where}: slot index {slot['slot']} != position {index}")
+        slot_sum += (slot["cost_operation"] + slot["cost_service_quality"]
+                     + slot["cost_reconfiguration"] + slot["cost_migration"])
+        if "solve" in slot:
+            check_fields(slot["solve"], SOLVE_FIELDS, f"{where}.solve")
+    total = run["total_cost"]
+    tolerance = REL_TOL * max(1.0, abs(total))
+    if abs(slot_sum - total) > tolerance:
+        fail(f"{path}: slot cost sum {slot_sum!r} differs from total_cost "
+             f"{total!r} by {abs(slot_sum - total):.3e} (> {tolerance:.3e})")
+    solved = sum(1 for slot in run["slots"] if "solve" in slot)
+    print(f"validate_telemetry: OK: {path}: {run['algorithm']}, "
+          f"{run['num_slots']} slots ({solved} with solver stats), "
+          f"slot-sum drift {abs(slot_sum - total):.3e}")
+
+
+def validate_trace(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+            events = json.loads(text)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    if not isinstance(events, list):
+        fail(f"{path}: top level must be a JSON array of trace events")
+    # One event per line: every non-bracket line holds exactly one record.
+    body_lines = [line for line in text.splitlines()
+                  if line.strip() not in ("[", "]", "")]
+    if len(body_lines) != len(events):
+        fail(f"{path}: {len(events)} events across {len(body_lines)} lines; "
+             "expected one event per line")
+    for index, event in enumerate(events):
+        where = f"{path}: event[{index}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        for name in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if name not in event:
+                fail(f"{where}: missing field '{name}'")
+        if event["ph"] != "X":
+            fail(f"{where}: ph is '{event['ph']}', expected complete "
+                 "event 'X'")
+        for name in ("ts", "dur"):
+            if not isinstance(event[name], (int, float)) \
+                    or isinstance(event[name], bool):
+                fail(f"{where}: '{name}' must be numeric")
+            if event[name] < 0:
+                fail(f"{where}: '{name}' must be non-negative")
+    print(f"validate_telemetry: OK: {path}: {len(events)} trace events")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--telemetry", required=True,
+                        help="eca.telemetry.v1 JSON file")
+    parser.add_argument("--trace", default=None,
+                        help="optional Chrome-trace JSON file")
+    args = parser.parse_args()
+    validate_telemetry(args.telemetry)
+    if args.trace:
+        validate_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()

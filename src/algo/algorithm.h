@@ -12,6 +12,7 @@
 
 #include "model/costs.h"
 #include "model/instance.h"
+#include "obs/telemetry.h"
 
 namespace eca::algo {
 
@@ -34,6 +35,15 @@ class OnlineAlgorithm {
   [[nodiscard]] virtual Allocation decide(const Instance& instance,
                                           std::size_t t,
                                           const Allocation& previous) = 0;
+
+  // Convergence telemetry of the most recent decide(), when the algorithm
+  // runs an iterative solver per slot (OnlineApprox). The pointer stays
+  // valid until the next decide()/reset(); nullptr for closed-form
+  // baselines. The simulator folds this into the run's telemetry.
+  [[nodiscard]] virtual const obs::SolveTelemetry* last_decide_telemetry()
+      const {
+    return nullptr;
+  }
 };
 
 using AlgorithmPtr = std::unique_ptr<OnlineAlgorithm>;

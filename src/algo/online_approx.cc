@@ -1,8 +1,40 @@
 #include "algo/online_approx.h"
 
 #include "common/check.h"
+#include "model/costs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eca::algo {
+namespace {
+
+// Cached registry handles for the per-slot decision metrics. All of these
+// are recorded by the thread driving the slot sequence (never by assembly
+// workers), so their totals are bit-deterministic across ECA_SLOT_THREADS —
+// the property pinned by tests/solve/obs_parallel_test.cc.
+struct AlgoMetrics {
+  obs::Counter& slots;
+  obs::Counter& mu_steps;
+  obs::DoubleCounter& cost_operation;
+  obs::DoubleCounter& cost_service_quality;
+  obs::DoubleCounter& cost_reconfiguration;
+  obs::DoubleCounter& cost_migration;
+
+  static AlgoMetrics& get() {
+    static AlgoMetrics m{
+        obs::MetricsRegistry::global().counter("algo.slots"),
+        obs::MetricsRegistry::global().counter("algo.mu_steps"),
+        obs::MetricsRegistry::global().double_counter("algo.cost_operation"),
+        obs::MetricsRegistry::global().double_counter(
+            "algo.cost_service_quality"),
+        obs::MetricsRegistry::global().double_counter(
+            "algo.cost_reconfiguration"),
+        obs::MetricsRegistry::global().double_counter("algo.cost_migration")};
+    return m;
+  }
+};
+
+}  // namespace
 
 solve::RegularizedProblem OnlineApprox::build_subproblem(
     const Instance& instance, std::size_t t, const Allocation& previous) const {
@@ -51,6 +83,8 @@ void OnlineApprox::reset(const Instance& /*instance*/) {
 
 Allocation OnlineApprox::decide(const Instance& instance, std::size_t t,
                                 const Allocation& previous) {
+  obs::TraceSpan span(obs::global_trace(), "slot_decide");
+  span.set_arg("t", static_cast<double>(t));
   const solve::RegularizedProblem p = build_subproblem(instance, t, previous);
   const solve::RegularizedSolution sol =
       solve::RegularizedSolver(options_.solver).solve(p, workspace_);
@@ -60,6 +94,23 @@ Allocation OnlineApprox::decide(const Instance& instance, std::size_t t,
   certificate_.add_slot(instance, t, sol);
   Allocation alloc(instance.num_clouds, instance.num_users);
   alloc.x = sol.x;
+  last_stats_ = sol.stats;
+  has_last_stats_ = true;
+  if (obs::metrics_enabled()) {
+    // The P0 cost split of the decision just played (weighted, so the
+    // accumulated totals decompose the run objective).
+    const model::CostBreakdown bd =
+        model::slot_cost(instance, t, alloc, &previous);
+    const double wstat = instance.weights.static_weight;
+    const double wdyn = instance.weights.dynamic_weight;
+    AlgoMetrics& am = AlgoMetrics::get();
+    am.slots.add();
+    am.mu_steps.add(static_cast<std::uint64_t>(sol.stats.mu_steps));
+    am.cost_operation.add(wstat * bd.operation);
+    am.cost_service_quality.add(wstat * bd.service_quality);
+    am.cost_reconfiguration.add(wdyn * bd.reconfiguration);
+    am.cost_migration.add(wdyn * bd.migration);
+  }
   return alloc;
 }
 

@@ -48,12 +48,20 @@ class OnlineApprox final : public OnlineAlgorithm {
     return certificate_;
   }
 
+  // Solver telemetry of the most recent decide() (nullptr before the first).
+  [[nodiscard]] const obs::SolveTelemetry* last_decide_telemetry()
+      const override {
+    return has_last_stats_ ? &last_stats_ : nullptr;
+  }
+
  private:
   OnlineApproxOptions options_;
   DualCertificate certificate_;
   // Scratch reused across slots: every per-slot P2 has the same shape, so
   // after slot 0 the solver runs without heap allocation in its Newton loop.
   solve::NewtonWorkspace workspace_;
+  obs::SolveTelemetry last_stats_;
+  bool has_last_stats_ = false;
 };
 
 }  // namespace eca::algo

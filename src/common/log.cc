@@ -1,0 +1,83 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace eca::log {
+namespace {
+
+Level threshold_from_env() {
+  const char* value = std::getenv("ECA_LOG");
+  if (value == nullptr) return Level::kWarn;
+  if (std::strcmp(value, "error") == 0) return Level::kError;
+  if (std::strcmp(value, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(value, "info") == 0) return Level::kInfo;
+  if (std::strcmp(value, "debug") == 0) return Level::kDebug;
+  std::fprintf(stderr,
+               "error: ECA_LOG='%s' is invalid (must be error|warn|info|"
+               "debug; unset it for the default 'warn')\n",
+               value);
+  std::exit(2);
+}
+
+std::atomic<int>& threshold_cell() {
+  static std::atomic<int> cell{static_cast<int>(threshold_from_env())};
+  return cell;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kError:
+      return "error";
+    case Level::kWarn:
+      return "warn";
+    case Level::kInfo:
+      return "info";
+    case Level::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Level threshold() {
+  return static_cast<Level>(threshold_cell().load(std::memory_order_relaxed));
+}
+
+Level set_threshold(Level level) {
+  return static_cast<Level>(threshold_cell().exchange(
+      static_cast<int>(level), std::memory_order_relaxed));
+}
+
+void vemit(Level level, const char* fmt, std::va_list args) {
+  char buf[1024];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[eca %s] %s\n", level_name(level), buf);
+}
+
+void emit(Level level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vemit(level, fmt, args);
+  va_end(args);
+}
+
+void logf(Level level, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vemit(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace eca::log

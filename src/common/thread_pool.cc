@@ -4,8 +4,20 @@
 #include <atomic>
 
 #include "common/env.h"
+#include "obs/metrics.h"
 
 namespace eca {
+namespace {
+
+// Queue depth observed at each submit (before the new task is counted):
+// a persistently high histogram tail means producers outrun the workers.
+obs::Histogram& queue_depth_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("threadpool.queue_depth");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
@@ -25,10 +37,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    depth = queue_.size();
     queue_.push(std::move(fn));
   }
+  if (obs::metrics_enabled()) queue_depth_histogram().record(depth);
   task_ready_.notify_one();
 }
 

@@ -1,0 +1,59 @@
+#include "obs/telemetry.h"
+
+#include <utility>
+
+namespace eca::obs {
+
+double RunTelemetry::slot_cost_sum() const {
+  double sum = 0.0;
+  for (const SlotTelemetry& slot : slots) sum += slot.cost_total();
+  return sum;
+}
+
+long long RunTelemetry::total_newton_iterations() const {
+  long long total = 0;
+  for (const SlotTelemetry& slot : slots) {
+    if (slot.has_solve) total += slot.solve.newton_iterations;
+  }
+  return total;
+}
+
+std::size_t RunTelemetry::warm_started_slots() const {
+  std::size_t n = 0;
+  for (const SlotTelemetry& slot : slots) {
+    if (slot.has_solve && slot.solve.warm_started) ++n;
+  }
+  return n;
+}
+
+std::size_t RunTelemetry::warm_fallback_slots() const {
+  std::size_t n = 0;
+  for (const SlotTelemetry& slot : slots) {
+    if (slot.has_solve && slot.solve.warm_fallback) ++n;
+  }
+  return n;
+}
+
+void TelemetrySink::begin_run(std::string algorithm, std::size_t num_clouds,
+                              std::size_t num_users, std::size_t num_slots) {
+  run_ = RunTelemetry{};
+  run_.algorithm = std::move(algorithm);
+  run_.num_clouds = num_clouds;
+  run_.num_users = num_users;
+  run_.num_slots = num_slots;
+  run_.slots.reserve(num_slots);
+}
+
+void TelemetrySink::record_slot(SlotTelemetry slot) {
+  run_.slots.push_back(std::move(slot));
+}
+
+RunTelemetry TelemetrySink::finish(double total_cost, double wall_seconds) {
+  run_.total_cost = total_cost;
+  run_.wall_seconds = wall_seconds;
+  RunTelemetry out = std::move(run_);
+  run_ = RunTelemetry{};
+  return out;
+}
+
+}  // namespace eca::obs

@@ -5,7 +5,10 @@
 #include "algo/baselines.h"
 #include "algo/online_approx.h"
 #include "common/check.h"
+#include "common/log.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eca::sim {
 
@@ -50,6 +53,17 @@ void accumulate(const SimulationResult& sim, double denominator,
   summary.absolute_cost.add(sim.weighted_total);
   summary.wall_seconds.add(sim.wall_seconds);
   summary.worst_violation = std::max(summary.worst_violation, sim.max_violation);
+  // Runs on the merging thread in deterministic (rep-major, roster-order)
+  // sequence for both the serial and parallel paths, so the counter total
+  // is exact and the accumulated seconds are single-writer.
+  if (obs::metrics_enabled()) {
+    static obs::Counter& sims =
+        obs::MetricsRegistry::global().counter("runner.simulations");
+    static obs::DoubleCounter& sim_seconds =
+        obs::MetricsRegistry::global().double_counter("runner.sim_seconds");
+    sims.add();
+    sim_seconds.add(sim.wall_seconds);
+  }
 }
 
 ExperimentResult run_experiment_serial(
@@ -72,18 +86,19 @@ ExperimentResult run_experiment_serial(
     const double denominator = offline_scored.weighted_total;
     ECA_CHECK(denominator > 0.0, "offline optimum must be positive");
     result.offline_cost.add(denominator);
-    if (options.verbose) {
-      std::fprintf(stderr, "rep %d: offline-opt cost %.4f\n", rep,
-                   denominator);
+    if (options.verbose || log::enabled(log::Level::kInfo)) {
+      log::emit(log::Level::kInfo, "rep %d: offline-opt cost %.4f", rep,
+                denominator);
     }
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
       algo::AlgorithmPtr algorithm = algorithms[a].make();
       const SimulationResult sim = Simulator::run(instance, *algorithm);
       accumulate(sim, denominator, result.algorithms[a]);
-      if (options.verbose) {
-        std::fprintf(stderr, "rep %d: %-14s cost %.4f ratio %.4f (%.2fs)\n",
-                     rep, sim.algorithm.c_str(), sim.weighted_total,
-                     sim.weighted_total / denominator, sim.wall_seconds);
+      if (options.verbose || log::enabled(log::Level::kInfo)) {
+        log::emit(log::Level::kInfo,
+                  "rep %d: %-14s cost %.4f ratio %.4f (%.2fs)", rep,
+                  sim.algorithm.c_str(), sim.weighted_total,
+                  sim.weighted_total / denominator, sim.wall_seconds);
       }
     }
   }
@@ -96,6 +111,7 @@ ExperimentResult run_experiment(
     const std::function<model::Instance(int rep)>& make_instance,
     const std::vector<NamedFactory>& algorithms,
     const ExperimentOptions& options) {
+  ECA_TRACE_SPAN("experiment");
   const std::size_t threads = ThreadPool::resolve_threads(options.threads);
   if (threads <= 1) {
     return run_experiment_serial(make_instance, algorithms, options);
@@ -140,17 +156,18 @@ ExperimentResult run_experiment(
   for (std::size_t rep = 0; rep < reps; ++rep) {
     const double denominator = rep_states[rep].denominator;
     result.offline_cost.add(denominator);
-    if (options.verbose) {
-      std::fprintf(stderr, "rep %zu: offline-opt cost %.4f\n", rep,
-                   denominator);
+    if (options.verbose || log::enabled(log::Level::kInfo)) {
+      log::emit(log::Level::kInfo, "rep %zu: offline-opt cost %.4f", rep,
+                denominator);
     }
     for (std::size_t a = 0; a < num_algos; ++a) {
       const SimulationResult& sim = sims[rep * num_algos + a];
       accumulate(sim, denominator, result.algorithms[a]);
-      if (options.verbose) {
-        std::fprintf(stderr, "rep %zu: %-14s cost %.4f ratio %.4f (%.2fs)\n",
-                     rep, sim.algorithm.c_str(), sim.weighted_total,
-                     sim.weighted_total / denominator, sim.wall_seconds);
+      if (options.verbose || log::enabled(log::Level::kInfo)) {
+        log::emit(log::Level::kInfo,
+                  "rep %zu: %-14s cost %.4f ratio %.4f (%.2fs)", rep,
+                  sim.algorithm.c_str(), sim.weighted_total,
+                  sim.weighted_total / denominator, sim.wall_seconds);
       }
     }
   }

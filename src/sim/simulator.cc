@@ -1,8 +1,10 @@
 #include "sim/simulator.h"
 
 #include <chrono>
+#include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace eca::sim {
 namespace {
@@ -20,10 +22,15 @@ SimulationResult Simulator::run(const Instance& instance,
   const std::string instance_error = instance.validate();
   ECA_CHECK(instance_error.empty(), instance_error);
 
+  ECA_TRACE_SPAN("sim_run");
   const auto start = std::chrono::steady_clock::now();
   algorithm.reset(instance);
   AllocationSequence seq;
   seq.reserve(instance.num_slots);
+  // Solver telemetry captured per decide (empty record for algorithms that
+  // expose none); folded into the scored telemetry below.
+  std::vector<obs::SolveTelemetry> solve_stats(instance.num_slots);
+  std::vector<char> has_solve(instance.num_slots, 0);
   model::Allocation previous(instance.num_clouds, instance.num_users);
   // Interior-point and first-order solvers leave O(tolerance) dust in
   // coordinates that are zero at the optimum; rounding it off keeps the
@@ -35,6 +42,10 @@ SimulationResult Simulator::run(const Instance& instance,
     ECA_CHECK(current.num_clouds == instance.num_clouds &&
                   current.num_users == instance.num_users,
               "algorithm returned an allocation of the wrong shape");
+    if (const obs::SolveTelemetry* st = algorithm.last_decide_telemetry()) {
+      solve_stats[t] = *st;
+      has_solve[t] = 1;
+    }
     for (double& v : current.x) {
       if (v < kDust) v = 0.0;
     }
@@ -43,6 +54,13 @@ SimulationResult Simulator::run(const Instance& instance,
   }
   SimulationResult result = score(instance, algorithm.name(), std::move(seq));
   result.wall_seconds = seconds_since(start);
+  result.telemetry.wall_seconds = result.wall_seconds;
+  for (std::size_t t = 0; t < result.telemetry.slots.size(); ++t) {
+    if (has_solve[t] != 0) {
+      result.telemetry.slots[t].has_solve = true;
+      result.telemetry.slots[t].solve = solve_stats[t];
+    }
+  }
   return result;
 }
 
@@ -53,11 +71,24 @@ SimulationResult Simulator::score(const Instance& instance, std::string name,
   result.cost = model::total_cost(instance, allocations);
   result.weighted_total = result.cost.total(instance.weights);
   result.per_slot.reserve(instance.num_slots);
+  obs::TelemetrySink sink;
+  sink.begin_run(result.algorithm, instance.num_clouds, instance.num_users,
+                 instance.num_slots);
+  const double wstat = instance.weights.static_weight;
+  const double wdyn = instance.weights.dynamic_weight;
   for (std::size_t t = 0; t < instance.num_slots; ++t) {
     const model::CostBreakdown slot = model::slot_cost(
         instance, t, allocations[t], t > 0 ? &allocations[t - 1] : nullptr);
     result.per_slot.push_back(slot.total(instance.weights));
+    obs::SlotTelemetry st;
+    st.slot = t;
+    st.cost_operation = wstat * slot.operation;
+    st.cost_service_quality = wstat * slot.service_quality;
+    st.cost_reconfiguration = wdyn * slot.reconfiguration;
+    st.cost_migration = wdyn * slot.migration;
+    sink.record_slot(st);
   }
+  result.telemetry = sink.finish(result.weighted_total, /*wall_seconds=*/0.0);
   result.max_violation = model::max_violation(instance, allocations);
   result.allocations = std::move(allocations);
   return result;

@@ -1,4 +1,5 @@
 #include "solve/ipm_lp.h"
+#include "common/log.h"
 
 #include <algorithm>
 #include <cmath>
@@ -244,9 +245,10 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
     for (std::size_t j : upper_set) dual_obj -= sf.upper[j] * v[j];
     const double rel_gap = std::abs(primal_obj - dual_obj) /
                            (1.0 + std::abs(primal_obj) + std::abs(dual_obj));
-    if (options_.verbose) {
-      std::fprintf(stderr, "ipm iter %3d: mu=%.3e rb=%.3e rc=%.3e gap=%.3e\n",
-                   iter, mu, rel_rb, rel_rc, rel_gap);
+    if (options_.verbose || log::enabled(log::Level::kDebug)) {
+      log::emit(log::Level::kDebug,
+                "ipm iter %3d: mu=%.3e rb=%.3e rc=%.3e gap=%.3e", iter, mu,
+                rel_rb, rel_rc, rel_gap);
     }
     sol.iterations = iter;
     sol.primal_residual = std::max(rel_rb, rel_ru);

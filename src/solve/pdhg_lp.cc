@@ -1,4 +1,5 @@
 #include "solve/pdhg_lp.h"
+#include "common/log.h"
 
 #include <algorithm>
 #include <cmath>
@@ -283,11 +284,11 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
     const Vec& cand_x = avg_better ? x_avg : x;
     const Vec& cand_y = avg_better ? y_avg : y;
 
-    if (options_.verbose) {
-      std::fprintf(stderr,
-                   "pdhg iter %7d: primal=%.3e dual=%.3e gap=%.3e omega=%.2e\n",
-                   iter + 1, cand_score.primal, cand_score.dual,
-                   cand_score.gap, omega);
+    if (options_.verbose || log::enabled(log::Level::kDebug)) {
+      log::emit(log::Level::kDebug,
+                "pdhg iter %7d: primal=%.3e dual=%.3e gap=%.3e omega=%.2e",
+                iter + 1, cand_score.primal, cand_score.dual, cand_score.gap,
+                omega);
     }
 
     const double gate = options_.gate_on_dual_residual

@@ -6,8 +6,11 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eca::solve {
 
@@ -284,6 +287,42 @@ bool warm_point_usable(const RegularizedProblem& p, const NewtonWorkspace& ws,
   return true;
 }
 
+// Cached handles into the global metrics registry. Acquired once (first
+// solve in the process — registration locks and allocates), then every
+// update is a sharded relaxed atomic op: the Newton hot path stays
+// allocation-free with metrics enabled (tests/solve/newton_alloc_test.cc).
+// Counters and per-solve stats are recorded only by the thread driving the
+// solve, so their totals are deterministic for any slot_threads value; the
+// chunk_assembly_ns histogram is the one metric fed concurrently by the
+// assembly workers (its *count* is still exact and deterministic).
+struct SolverMetrics {
+  obs::Counter& solves;
+  obs::Counter& newton_iterations;
+  obs::Counter& warm_starts;
+  obs::Counter& warm_fallbacks;
+  obs::Histogram& iterations_per_solve;
+  obs::Histogram& chunk_assembly_ns;
+  obs::DoubleCounter& assembly_seconds;
+  obs::DoubleCounter& factor_seconds;
+  obs::DoubleCounter& solve_seconds;
+
+  static SolverMetrics& get() {
+    static SolverMetrics m{
+        obs::MetricsRegistry::global().counter("solver.solves"),
+        obs::MetricsRegistry::global().counter("solver.newton_iterations"),
+        obs::MetricsRegistry::global().counter("solver.warm_starts"),
+        obs::MetricsRegistry::global().counter("solver.warm_fallbacks"),
+        obs::MetricsRegistry::global().histogram(
+            "solver.iterations_per_solve"),
+        obs::MetricsRegistry::global().histogram("solver.chunk_assembly_ns"),
+        obs::MetricsRegistry::global().double_counter(
+            "solver.assembly_seconds"),
+        obs::MetricsRegistry::global().double_counter("solver.factor_seconds"),
+        obs::MetricsRegistry::global().double_counter("solver.solve_seconds")};
+    return m;
+  }
+};
+
 }  // namespace
 
 RegularizedSolution RegularizedSolver::solve(
@@ -333,6 +372,13 @@ RegularizedSolution RegularizedSolver::solve(
 // everything the workers touch is pre-sized.
 RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
                                              NewtonWorkspace& ws) const {
+  ECA_TRACE_SPAN("p2_solve");
+  // Sampled once per solve: recording must not toggle mid-iteration.
+  const bool metrics_on = obs::metrics_enabled();
+  const std::uint64_t solve_t0 = metrics_on ? obs::steady_clock_ns() : 0;
+  std::uint64_t assembly_ns = 0;
+  std::uint64_t factor_ns = 0;
+
   RegularizedSolution sol;
   const std::string problem_error = p.validate();
   ECA_CHECK(problem_error.empty(), problem_error);
@@ -425,7 +471,8 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
 
   // --- Primal/dual start: warm (previous slot) or cold ---------------------
   bool warm = false;
-  if (options_.warm_start && ws.warm_valid) {
+  const bool warm_requested = options_.warm_start && ws.warm_valid;
+  if (warm_requested) {
     // Repair x*_{t-1} into a strictly interior point by blending toward the
     // cold start (built in ws.dx, which is free scratch here). The blend
     // restores an interior margin even when the previous optimum sits on
@@ -496,6 +543,8 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
     }
   }
   sol.warm_started = warm;
+  sol.stats.warm_started = warm;
+  sol.stats.warm_fallback = warm_requested && !warm;
 
   const std::size_t k = kI + kJ + 1;  // reduction basis: u_i, a_j, e
   const std::size_t total_constraints = n + kJ + (has_comp ? kI : 0) +
@@ -511,6 +560,8 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
   // mu; we keep the best KKT point seen and fall back to it. Same-size
   // copy-assignments below reuse the destination buffers.
   double best_score = kInf;
+  double best_comp_avg = 0.0;
+  double best_dual_resid = 0.0;
   ws.best_x = ws.x;
   ws.best_delta = ws.delta;
   ws.best_theta = ws.theta;
@@ -681,7 +732,13 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
   const int max_iterations = 200;
   int iter = 0;
   bool converged = false;
+  // Exit-time KKT telemetry (cost-scale relative) and the μ-continuation
+  // path length (strict decreases of the barrier target).
+  int mu_steps = 0;
+  double exit_comp_avg = 0.0;
+  double exit_dual_resid = 0.0;
   for (; iter < max_iterations; ++iter) {
+    ECA_TRACE_SPAN("newton_iter");
     // --- Residuals (gradient fused into the dual residual pass) -----------
     const double rho_total = has_comp ? linalg::sum(ws.rho) : 0.0;
     for (std::size_t i = 0; i < kI; ++i) {
@@ -750,15 +807,20 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
       }
     }
     const double comp_avg = comp_sum / static_cast<double>(total_constraints);
+    exit_comp_avg = comp_avg / cost_scale;
+    exit_dual_resid = dual_resid_norm / cost_scale;
 
-    if (options_.verbose) {
-      std::fprintf(stderr, "pd iter %3d: mu=%.3e comp=%.3e rdual=%.3e\n", iter,
-                   mu, comp_avg, dual_resid_norm / cost_scale);
+    if (options_.verbose || log::enabled(log::Level::kDebug)) {
+      log::emit(log::Level::kDebug,
+                "pd iter %3d: mu=%.3e comp=%.3e rdual=%.3e", iter, mu,
+                comp_avg, dual_resid_norm / cost_scale);
     }
     const double score = std::max(comp_avg / cost_scale,
                                   dual_resid_norm / cost_scale);
     if (score < best_score) {
       best_score = score;
+      best_comp_avg = exit_comp_avg;
+      best_dual_resid = exit_dual_resid;
       ws.best_x = ws.x;
       ws.best_delta = ws.delta;
       ws.best_theta = ws.theta;
@@ -777,10 +839,13 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
     // Target barrier parameter: aggressive but safeguarded decrease. (This
     // is also the warm start's μ-continuation: on a warm start comp_avg is
     // the carried point's duality-gap estimate, not initial_mu.)
-    mu = std::max(options_.mu_shrink * comp_avg,
-                  0.1 * options_.final_mu * cost_scale);
+    const double mu_next = std::max(options_.mu_shrink * comp_avg,
+                                    0.1 * options_.final_mu * cost_scale);
+    if (mu_next < mu) ++mu_steps;
+    mu = mu_next;
 
     // --- Newton matrix pieces + Schur accumulators -------------------------
+    const std::uint64_t assembly_t0 = metrics_on ? obs::steady_clock_ns() : 0;
     beta_sum = 0.0;
     for (std::size_t i = 0; i < kI; ++i) {
       const double eta_i = ws.eta_cache[i];
@@ -795,6 +860,10 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
       beta_sum += b;
     }
     for_chunks([&](std::size_t c) {
+      // The per-worker assembly timing: recorded from whichever pool thread
+      // runs the chunk (a concurrent, sharded histogram update — this is
+      // the path the tsan-smoke test hammers).
+      const std::uint64_t chunk_t0 = metrics_on ? obs::steady_clock_ns() : 0;
       const std::size_t j0 = chunk_begin(c);
       const std::size_t j1 = chunk_end(c);
       double* ia = ws.chunk_ia.data() + c * kI;        // r_i partials
@@ -840,6 +909,10 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
                             ib);
       sc[0] = total_part;
       sc[1] = r2_part;
+      if (metrics_on) {
+        SolverMetrics::get().chunk_assembly_ns.record(obs::steady_clock_ns() -
+                                                      chunk_t0);
+      }
     });
     // Chunk-ordered reduction of r_i, s, Q_i, R and P.
     linalg::fill(ws.row_sum, 0.0);
@@ -860,6 +933,7 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
       r_cap += sc[1];
     }
     linalg::symmetrize_from_lower(pm, kI, kI);
+    if (metrics_on) assembly_ns += obs::steady_clock_ns() - assembly_t0;
 
     // --- (I+1)² Schur system over [u_1..u_I, e] ---------------------------
     double rb = 0.0;  // Σ_i r_i β_i
@@ -889,7 +963,12 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
     }
     ws.s_mat(kI, kI) =
         1.0 - rb + total_sum * beta_sum + qb - r_cap * beta_sum;
-    if (!ws.lu.factor(ws.s_mat)) break;  // fall back to the best iterate
+    {
+      const std::uint64_t factor_t0 = metrics_on ? obs::steady_clock_ns() : 0;
+      const bool factored = ws.lu.factor(ws.s_mat);
+      if (metrics_on) factor_ns += obs::steady_clock_ns() - factor_t0;
+      if (!factored) break;  // fall back to the best iterate
+    }
 
     // --- RHS: −r_dual + (μ/x − δ) + Σ_j a_j (μ/s_j − θ_j)
     //          + Σ_i (e−u_i)(μ/p_i − ρ_i) − Σ_i u_i (μ/q_i − κ_i). ---------
@@ -1061,6 +1140,25 @@ RegularizedSolution RegularizedSolver::solve(const RegularizedProblem& p,
   sol.delta = converged ? ws.delta : ws.best_delta;
   sol.objective_value = p.objective(sol.x, ws.prev_agg);
   sol.newton_iterations = iter;
+  sol.stats.newton_iterations = iter;
+  sol.stats.mu_steps = mu_steps;
+  sol.stats.kkt_comp_avg = converged ? exit_comp_avg : best_comp_avg;
+  sol.stats.kkt_dual_residual = converged ? exit_dual_resid : best_dual_resid;
+  if (metrics_on) {
+    sol.stats.assembly_seconds = static_cast<double>(assembly_ns) * 1e-9;
+    sol.stats.factor_seconds = static_cast<double>(factor_ns) * 1e-9;
+    sol.stats.solve_seconds =
+        static_cast<double>(obs::steady_clock_ns() - solve_t0) * 1e-9;
+    SolverMetrics& sm = SolverMetrics::get();
+    sm.solves.add();
+    sm.newton_iterations.add(static_cast<std::uint64_t>(iter));
+    if (warm) sm.warm_starts.add();
+    if (sol.stats.warm_fallback) sm.warm_fallbacks.add();
+    sm.iterations_per_solve.record(static_cast<std::uint64_t>(iter));
+    sm.assembly_seconds.add(sol.stats.assembly_seconds);
+    sm.factor_seconds.add(sol.stats.factor_seconds);
+    sm.solve_seconds.add(sol.stats.solve_seconds);
+  }
   // A best-iterate fallback with a small KKT score is still a usable
   // optimum; only report failure when even the best point is poor.
   if (converged) {

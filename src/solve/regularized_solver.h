@@ -38,6 +38,7 @@
 #include "common/thread_pool.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
+#include "obs/telemetry.h"
 #include "solve/lp_problem.h"
 
 namespace eca::solve {
@@ -204,6 +205,11 @@ struct RegularizedSolution {
   // True when this solve actually started from the repaired previous-slot
   // point (false: cold start, including every warm-start fallback).
   bool warm_started = false;
+  // Convergence telemetry: iteration/μ-step counts, KKT residuals at exit,
+  // warm-start outcome and (when obs::metrics_enabled()) stage timings.
+  // `stats.newton_iterations` and `stats.warm_started` mirror the fields
+  // above, which stay for source compatibility.
+  obs::SolveTelemetry stats;
 };
 
 class RegularizedSolver {

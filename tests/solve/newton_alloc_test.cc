@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "solve/regularized_solver.h"
 
 namespace {
@@ -102,6 +103,35 @@ TEST(NewtonAlloc, IterationLoopIsAllocationFree) {
   // Identical allocation totals across different iteration counts ⇒ zero
   // allocations inside the loop (what remains is validate() plus the
   // returned solution vectors, both iteration-independent).
+  EXPECT_EQ(few.allocations, many.allocations);
+}
+
+TEST(NewtonAlloc, IterationLoopIsAllocationFreeWithMetricsEnabled) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "allocation counting is unreliable under sanitizers";
+#endif
+  // The observability instrumentation must preserve the guarantee: metric
+  // handles are cached in function-local statics and add()/record() on them
+  // never allocate, so the per-solve allocation count stays independent of
+  // the iteration count with ECA_METRICS on.
+  const bool previous_enabled = obs::set_metrics_enabled(true);
+  const RegularizedProblem p = sample_problem();
+  RegularizedOptions loose;
+  loose.final_mu = 1e-4;
+  loose.warm_start = false;
+  RegularizedOptions tight;
+  tight.final_mu = 1e-10;
+  tight.warm_start = false;
+
+  NewtonWorkspace ws;
+  // Warm-up solve with metrics enabled: registers the handle statics (the
+  // one-time registration does allocate) and sizes the workspace.
+  (void)RegularizedSolver(tight).solve(p, ws);
+
+  const SolveProfile few = profile(p, loose, ws);
+  const SolveProfile many = profile(p, tight, ws);
+  obs::set_metrics_enabled(previous_enabled);
+  ASSERT_GT(many.newton_iterations, few.newton_iterations);
   EXPECT_EQ(few.allocations, many.allocations);
 }
 
