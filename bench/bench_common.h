@@ -29,17 +29,23 @@ struct BenchScale {
 };
 
 // Exits with a clear message when a scale knob is nonsensical (0 users, 0
-// slots, non-positive repetitions, negative seed): a silent cast would
-// otherwise produce empty experiments or a 2^64-sized loop bound.
+// slots, non-positive repetitions, negative seed) or does not parse as an
+// integer at all: env_int()'s warn-and-fallback contract would otherwise
+// run the DEFAULT experiment under a typo'd scale (ECA_SWEEP_MAX_USERS=8k)
+// and report it as if the requested one had run.
 inline std::int64_t read_positive_scale_knob(const char* name,
                                              std::int64_t fallback,
                                              std::int64_t minimum) {
-  const std::int64_t value = env_int(name, fallback);
-  if (value < minimum) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < minimum) {
     std::fprintf(stderr,
-                 "error: %s=%lld is out of range (must be >= %lld)\n", name,
-                 static_cast<long long>(value),
-                 static_cast<long long>(minimum));
+                 "error: %s='%s' is invalid (must be an integer >= %lld; "
+                 "unset it to use the default %lld)\n",
+                 name, raw, static_cast<long long>(minimum),
+                 static_cast<long long>(fallback));
     std::exit(2);
   }
   return value;
@@ -69,6 +75,9 @@ inline void validate_thread_knob(const char* name) {
 inline BenchScale read_scale() {
   validate_thread_knob("ECA_THREADS");
   validate_thread_knob("ECA_SLOT_THREADS");
+  // Same integer->=-1 contract as the thread knobs; failing here surfaces a
+  // typo at startup instead of mid-sweep inside the solver.
+  validate_thread_knob("ECA_SLOT_MIN_CHUNK");
   BenchScale scale;
   scale.users =
       static_cast<std::size_t>(read_positive_scale_knob("ECA_USERS", 30, 1));

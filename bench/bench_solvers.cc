@@ -1,7 +1,7 @@
 // Solver microbenchmarks + the repo's performance trajectory harness.
 //
 // Always runs a timing pass and emits `BENCH_solvers.json` (path override:
-// ECA_BENCH_JSON, schema eca.bench_solvers.v2) so future PRs have numbers
+// ECA_BENCH_JSON, schema eca.bench_solvers.v3) so future PRs have numbers
 // to regress against:
 //  * Newton hot path — a slot sequence of P2 solves with a reused
 //    NewtonWorkspace (the OnlineApprox inner loop): slots/sec, Newton
@@ -11,10 +11,15 @@
 //    speedup, and a bit-identical check on the merged statistics.
 //  * Slot sweep — per-slot solve time vs user count J (I = 15 fixed,
 //    J = 64 doubling up to ECA_SWEEP_MAX_USERS, default 8192;
-//    ECA_SWEEP_SLOTS random-walk slots per point, default 4): slot ms with
-//    1 intra-slot thread vs N (ECA_SLOT_THREADS if set, else 8), speedup,
-//    warm vs cold Newton iterations, and a bit-identical cross-check of the
-//    1-thread and N-thread trajectories.
+//    ECA_SWEEP_SLOTS random-walk slots per point, default 4): dense slot ms
+//    with 1 intra-slot thread vs N (ECA_SLOT_THREADS if set, else 8) under
+//    the adaptive-granularity floor, speedup, an active-set leg (slot ms,
+//    speedup over dense, mean/max per-user support, certification rounds,
+//    dense fallbacks), warm vs cold Newton iterations, and a bit-identical
+//    cross-check of the 1-thread and N-thread trajectories. Points the
+//    floor collapses to serial reuse the 1-thread measurement
+//    (pool_engaged=false, speedup 1.0) — the N-thread leg would time the
+//    byte-identical serial path.
 //  * Warm start — a fixed random-walk trajectory solved warm and cold:
 //    mean Newton iterations per slot and the relative reduction.
 //
@@ -22,6 +27,7 @@
 // RegularizedSolver scaling) still runs when ECA_GBENCH=1.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -226,6 +232,12 @@ struct TrajectoryPerf {
   double seconds = 0.0;
   long long newton_iterations = 0;
   std::size_t slots = 0;
+  // Active-set leg only: Σ_slots Σ_j |S_j|, the largest per-user support,
+  // the largest admit-and-resolve round count, and dense-fallback slots.
+  long long active_nnz_total = 0;
+  int support_max = 0;
+  int certify_rounds = 0;
+  std::size_t active_fallbacks = 0;
   linalg::Vec final_x;
 };
 
@@ -235,10 +247,12 @@ struct TrajectoryPerf {
 // byte-identical problems.
 TrajectoryPerf run_trajectory(const RegularizedProblem& base,
                               std::size_t slots, int slot_threads,
-                              bool warm_start, std::uint64_t walk_seed) {
+                              bool warm_start, std::uint64_t walk_seed,
+                              bool active_set = false) {
   RegularizedOptions opt;
   opt.slot_threads = slot_threads;
   opt.warm_start = warm_start;
+  opt.active_set = active_set;
   RegularizedSolver solver(opt);
   NewtonWorkspace ws;
   RegularizedProblem p = base;
@@ -249,6 +263,14 @@ TrajectoryPerf run_trajectory(const RegularizedProblem& base,
   for (std::size_t t = 0; t < slots; ++t) {
     const RegularizedSolution sol = solver.solve(p, ws);
     perf.newton_iterations += sol.newton_iterations;
+    if (active_set) {
+      perf.active_nnz_total += sol.stats.active_nnz;
+      perf.support_max = std::max(perf.support_max,
+                                  sol.stats.active_support_max);
+      perf.certify_rounds = std::max(perf.certify_rounds,
+                                     sol.stats.active_rounds);
+      if (sol.stats.active_fallback) ++perf.active_fallbacks;
+    }
     if (t + 1 == slots) perf.final_x = sol.x;
     p.prev = sol.x;
     for (auto& v : p.linear_cost) v *= walk.uniform(0.9, 1.1);
@@ -262,6 +284,16 @@ struct SweepPoint {
   double slot_ms_1_thread = 0.0;
   double slot_ms_n_threads = 0.0;
   double speedup = 0.0;
+  // Whether the adaptive granularity floor let the N-thread leg actually
+  // engage the pool; when false the serial measurement is reused verbatim.
+  bool pool_engaged = false;
+  // Active-set leg (1 intra-slot thread, same trajectory).
+  double slot_ms_active = 0.0;
+  double active_speedup = 0.0;  // dense 1-thread / active 1-thread
+  double support_mean = 0.0;    // mean |S_j| over all users and slots
+  int support_max = 0;
+  int certify_rounds = 0;  // worst per-slot admit-and-resolve round count
+  std::size_t active_fallbacks = 0;
   long long newton_iters_warm = 0;
   long long newton_iters_cold = 0;
   bool bit_identical = false;
@@ -290,31 +322,62 @@ SweepPerf time_slot_sweep(const bench::BenchScale& scale) {
     const std::uint64_t walk_seed = scale.seed + 7 * users + 1;
     const TrajectoryPerf one =
         run_trajectory(base, sweep.slots_per_point, 1, true, walk_seed);
-    const TrajectoryPerf many =
-        run_trajectory(base, sweep.slots_per_point,
-                       static_cast<int>(sweep.threads), true, walk_seed);
     const TrajectoryPerf cold =
         run_trajectory(base, sweep.slots_per_point, 1, false, walk_seed);
     SweepPoint point;
     point.users = users;
     point.slot_ms_1_thread =
         one.seconds * 1e3 / static_cast<double>(one.slots);
-    point.slot_ms_n_threads =
-        many.seconds * 1e3 / static_cast<double>(many.slots);
-    point.speedup =
-        many.seconds > 0.0 ? one.seconds / many.seconds : 0.0;
+    // Mirror the solver's own adaptive resolution: when the min-work floor
+    // or the hardware-concurrency cap collapses this point to one worker,
+    // the N-thread leg runs the byte-identical serial path, so reuse the
+    // serial measurement instead of timing it twice.
+    const std::size_t effective = ThreadPool::resolve_slot_threads(
+        static_cast<int>(sweep.threads), users, ThreadPool::slot_min_chunk());
+    point.pool_engaged = effective > 1;
+    if (point.pool_engaged) {
+      const TrajectoryPerf many =
+          run_trajectory(base, sweep.slots_per_point,
+                         static_cast<int>(sweep.threads), true, walk_seed);
+      point.slot_ms_n_threads =
+          many.seconds * 1e3 / static_cast<double>(many.slots);
+      point.speedup =
+          many.seconds > 0.0 ? one.seconds / many.seconds : 0.0;
+      point.bit_identical =
+          one.newton_iterations == many.newton_iterations &&
+          one.final_x == many.final_x;
+    } else {
+      point.slot_ms_n_threads = point.slot_ms_1_thread;
+      point.speedup = 1.0;
+      point.bit_identical = true;
+    }
+    const TrajectoryPerf active =
+        run_trajectory(base, sweep.slots_per_point, 1, true, walk_seed,
+                       /*active_set=*/true);
+    point.slot_ms_active =
+        active.seconds * 1e3 / static_cast<double>(active.slots);
+    point.active_speedup =
+        active.seconds > 0.0 ? one.seconds / active.seconds : 0.0;
+    point.support_mean =
+        static_cast<double>(active.active_nnz_total) /
+        static_cast<double>(active.slots * users);
+    point.support_max = active.support_max;
+    point.certify_rounds = active.certify_rounds;
+    point.active_fallbacks = active.active_fallbacks;
     point.newton_iters_warm = one.newton_iterations;
     point.newton_iters_cold = cold.newton_iterations;
-    point.bit_identical =
-        one.newton_iterations == many.newton_iterations &&
-        one.final_x == many.final_x;
     sweep.points.push_back(point);
     std::printf(
-        "sweep J=%5zu: %.2f ms/slot (1 thr), %.2f ms/slot (%zu thr), "
-        "%.2fx, iters warm/cold %lld/%lld, bit_identical=%s\n",
+        "sweep J=%5zu: %.2f ms/slot (1 thr), %.2f ms/slot (%zu thr, "
+        "pool=%s), %.2fx; active %.2f ms/slot (%.2fx, support %.2f/%d, "
+        "rounds %d, fallbacks %zu), iters warm/cold %lld/%lld, "
+        "bit_identical=%s\n",
         users, point.slot_ms_1_thread, point.slot_ms_n_threads,
-        sweep.threads, point.speedup, point.newton_iters_warm,
-        point.newton_iters_cold, point.bit_identical ? "true" : "false");
+        sweep.threads, point.pool_engaged ? "on" : "off", point.speedup,
+        point.slot_ms_active, point.active_speedup, point.support_mean,
+        point.support_max, point.certify_rounds, point.active_fallbacks,
+        point.newton_iters_warm, point.newton_iters_cold,
+        point.bit_identical ? "true" : "false");
   }
   return sweep;
 }
@@ -374,7 +437,7 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
                                    runner.seconds_n_threads
                              : 0.0;
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"eca.bench_solvers.v2\",\n");
+  std::fprintf(out, "  \"schema\": \"eca.bench_solvers.v3\",\n");
   std::fprintf(out,
                "  \"scale\": {\"users\": %zu, \"slots\": %zu, "
                "\"repetitions\": %d, \"seed\": %llu},\n",
@@ -404,17 +467,23 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
     std::fprintf(out,
                  "    {\"users\": %zu, \"slot_ms_1_thread\": %.3f, "
                  "\"slot_ms_n_threads\": %.3f, \"speedup\": %.3f, "
+                 "\"pool_engaged\": %s, \"slot_ms_active\": %.3f, "
+                 "\"active_speedup\": %.3f, \"support_mean\": %.3f, "
+                 "\"support_max\": %d, \"certify_rounds\": %d, "
+                 "\"active_fallbacks\": %zu, "
                  "\"newton_iters_warm\": %lld, \"newton_iters_cold\": %lld, "
                  "\"bit_identical\": %s}%s\n",
                  p.users, p.slot_ms_1_thread, p.slot_ms_n_threads, p.speedup,
-                 p.newton_iters_warm, p.newton_iters_cold,
-                 p.bit_identical ? "true" : "false",
+                 p.pool_engaged ? "true" : "false", p.slot_ms_active,
+                 p.active_speedup, p.support_mean, p.support_max,
+                 p.certify_rounds, p.active_fallbacks, p.newton_iters_warm,
+                 p.newton_iters_cold, p.bit_identical ? "true" : "false",
                  i + 1 < sweep.points.size() ? "," : "");
   }
   std::fprintf(out, "  ]},\n");
   // Optional solver-telemetry block (absent with ECA_METRICS=off):
   // process-lifetime registry totals over everything the harness above
-  // solved. Additive — readers of eca.bench_solvers.v2 ignore it.
+  // solved. Additive — readers of eca.bench_solvers.v3 ignore it.
   if (obs::metrics_enabled()) {
     const obs::MetricsSnapshot snap =
         obs::MetricsRegistry::global().snapshot();
@@ -422,6 +491,8 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
         out,
         "  \"telemetry\": {\"solves\": %llu, \"newton_iterations\": %llu, "
         "\"warm_starts\": %llu, \"warm_fallbacks\": %llu, "
+        "\"active_solves\": %llu, \"active_rounds\": %llu, "
+        "\"active_fallbacks\": %llu, "
         "\"assembly_seconds\": %.6f, \"factor_seconds\": %.6f, "
         "\"solve_seconds\": %.6f},\n",
         static_cast<unsigned long long>(snap.counter("solver.solves")),
@@ -430,6 +501,10 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
         static_cast<unsigned long long>(snap.counter("solver.warm_starts")),
         static_cast<unsigned long long>(
             snap.counter("solver.warm_fallbacks")),
+        static_cast<unsigned long long>(snap.counter("solver.active_solves")),
+        static_cast<unsigned long long>(snap.counter("solver.active_rounds")),
+        static_cast<unsigned long long>(
+            snap.counter("solver.active_fallbacks")),
         snap.double_counter("solver.assembly_seconds"),
         snap.double_counter("solver.factor_seconds"),
         snap.double_counter("solver.solve_seconds"));

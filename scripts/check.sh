@@ -42,8 +42,14 @@ python3 scripts/validate_telemetry.py \
   --trace "$obs_dir/run.trace.json"
 
 echo "== bench: quick-mode sweep =="
-ECA_SWEEP_MAX_USERS=256 ECA_SWEEP_SLOTS=2 ECA_USERS=15 ECA_SLOTS=8 \
+# Sweep through J=1024 so the perf guard's active-vs-dense gate has a
+# point to check (the sweep itself is cheap; the committed BENCH file is
+# regenerated separately at full scale).
+ECA_SWEEP_MAX_USERS=1024 ECA_SWEEP_SLOTS=2 ECA_USERS=15 ECA_SLOTS=8 \
   ECA_REPS=1 ECA_BENCH_JSON=build/BENCH_solvers.quick.json \
   ./build/bench/bench_solvers
+
+echo "== perf guard: active-set + adaptive-granularity gates =="
+python3 scripts/perf_guard.py build/BENCH_solvers.quick.json
 
 echo "== check.sh: all gates passed =="

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Performance gate over a BENCH_solvers.json slot sweep.
+
+    scripts/perf_guard.py BENCH_solvers.json
+
+Reads an eca.bench_solvers.v3 file and fails (exit 1) when the sweep shows
+a regression the repo has promised not to reintroduce:
+
+  * the active-set path slower than the dense 1-thread path at any point
+    with J >= 1024 (small points may legitimately lose to admit-and-resolve
+    overhead; at scale the reduced Newton solve must win);
+  * any point where the pool actually engaged (pool_engaged=true under the
+    adaptive granularity floor) with a multi-thread speedup below 0.95 —
+    the floor exists precisely so parallelism is never a slowdown, and
+    points it collapses to serial report speedup 1.0 by construction;
+  * any bit_identical=false — thread count must never change results.
+
+Exits 0 with a summary line when every check passes.
+"""
+import json
+import sys
+
+SCHEMA = "eca.bench_solvers.v3"
+ACTIVE_GATE_USERS = 1024
+MIN_POOL_SPEEDUP = 0.95
+
+
+def fail(message):
+    print(f"perf_guard: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_solvers.json")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            bench = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    schema = bench.get("schema")
+    if schema != SCHEMA:
+        fail(f"{path}: schema is {schema!r}, expected {SCHEMA!r}")
+    points = bench.get("slot_sweep", {}).get("points", [])
+    if not points:
+        fail(f"{path}: slot_sweep has no points")
+    gated = 0
+    for point in points:
+        users = point["users"]
+        where = f"{path}: J={users}"
+        if not point["bit_identical"]:
+            fail(f"{where}: bit_identical=false — thread count changed "
+                 "the trajectory")
+        if point["pool_engaged"] and point["speedup"] < MIN_POOL_SPEEDUP:
+            fail(f"{where}: multi-thread speedup {point['speedup']:.3f} < "
+                 f"{MIN_POOL_SPEEDUP} with the pool engaged; the adaptive "
+                 "granularity floor should have kept this point serial")
+        if users >= ACTIVE_GATE_USERS:
+            gated += 1
+            if point["slot_ms_active"] > point["slot_ms_1_thread"]:
+                fail(f"{where}: active-set {point['slot_ms_active']:.3f} "
+                     f"ms/slot slower than dense "
+                     f"{point['slot_ms_1_thread']:.3f} ms/slot")
+    if gated == 0:
+        print(f"perf_guard: note: no point with J >= {ACTIVE_GATE_USERS}; "
+              "active-vs-dense gate not exercised")
+    print(f"perf_guard: OK: {path}: {len(points)} sweep points "
+          f"({gated} under the active-vs-dense gate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,7 @@
                                   [--trace run.trace.json]
 
 Validates:
-  * the telemetry file against schema eca.telemetry.v1 — required fields,
+  * the telemetry file against schema eca.telemetry.v2 — required fields,
     types, and the accounting invariant that the per-slot weighted cost
     splits sum to total_cost within 1e-9 relative (float reassociation is
     the only permitted difference);
@@ -19,7 +19,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "eca.telemetry.v1"
+SCHEMA = "eca.telemetry.v2"
 REL_TOL = 1e-9
 
 RUN_FIELDS = {
@@ -33,6 +33,8 @@ RUN_FIELDS = {
     "total_newton_iterations": int,
     "warm_started_slots": int,
     "warm_fallback_slots": int,
+    "active_set_slots": int,
+    "active_fallback_slots": int,
     "slots": list,
 }
 
@@ -51,6 +53,12 @@ SOLVE_FIELDS = {
     "kkt_dual_residual": (int, float),
     "warm_started": bool,
     "warm_fallback": bool,
+    "active_set": bool,
+    "active_fallback": bool,
+    "active_rounds": int,
+    "active_nnz": int,
+    "active_support_max": int,
+    "certify_residual": (int, float),
     "solve_seconds": (int, float),
     "assembly_seconds": (int, float),
     "factor_seconds": (int, float),
@@ -144,7 +152,7 @@ def validate_trace(path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--telemetry", required=True,
-                        help="eca.telemetry.v1 JSON file")
+                        help="eca.telemetry.v2 JSON file")
     parser.add_argument("--trace", default=None,
                         help="optional Chrome-trace JSON file")
     args = parser.parse_args()

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/env.h"
 #include "obs/metrics.h"
@@ -85,6 +88,36 @@ std::size_t ThreadPool::resolve_slot_threads(int requested) {
   const std::int64_t from_env = env_int("ECA_SLOT_THREADS", 0);
   if (from_env > 0) return static_cast<std::size_t>(from_env);
   return 1;
+}
+
+std::size_t ThreadPool::resolve_slot_threads(int requested, std::size_t work,
+                                             std::size_t min_work,
+                                             bool cap_to_hardware) {
+  std::size_t base = resolve_slot_threads(requested);
+  if (base <= 1) return 1;
+  if (cap_to_hardware) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) base = std::min(base, static_cast<std::size_t>(hw));
+  }
+  const std::size_t floor = std::max<std::size_t>(1, min_work);
+  const std::size_t cap = std::max<std::size_t>(1, work / floor);
+  return std::min(base, cap);
+}
+
+std::size_t ThreadPool::slot_min_chunk() {
+  const char* raw = std::getenv("ECA_SLOT_MIN_CHUNK");
+  if (raw == nullptr || raw[0] == '\0') return kDefaultSlotMinChunk;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || value <= 0) {
+    std::fprintf(stderr,
+                 "ECA_SLOT_MIN_CHUNK='%s' is invalid: expected a positive "
+                 "integer (minimum users-worth of work per slot task)\n",
+                 raw);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
 }
 
 void ThreadPool::run_indexed(std::size_t count,

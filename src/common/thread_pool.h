@@ -50,6 +50,30 @@ class ThreadPool {
   // oversubscribe; slot parallelism is opt-in for single-trajectory runs.
   static std::size_t resolve_slot_threads(int requested = 0);
 
+  // Work-aware overload: the base policy above, capped so that every
+  // dispatched worker covers at least `min_work` units of `work` (the
+  // minimum-work-per-chunk floor that keeps small solves off the pool —
+  // dispatching a handful of microseconds of arithmetic onto a task queue
+  // costs more than the arithmetic) and, when `cap_to_hardware` is true
+  // (the default), so that the worker count never exceeds
+  // hardware_concurrency — the assembly is CPU-bound, so oversubscribing
+  // cores only adds scheduling overhead and shows up as sub-1x "speedups".
+  // A cap of 1 means "run serial". Units are the caller's (the solver
+  // passes users for the dense path and active entries for the sparse
+  // one); `min_work` == 0 is treated as 1. Pass `cap_to_hardware = false`
+  // only to deliberately oversubscribe (the bit-identity determinism tests
+  // do, to stress worker interleaving on any machine).
+  static std::size_t resolve_slot_threads(int requested, std::size_t work,
+                                          std::size_t min_work,
+                                          bool cap_to_hardware = true);
+
+  // Minimum users-worth of work per dispatched intra-slot task, from
+  // ECA_SLOT_MIN_CHUNK (default kDefaultSlotMinChunk). Fail-fast: a set but
+  // invalid value (non-numeric, zero, negative) exits with status 2 — a
+  // typo must not silently pick the wrong granularity.
+  static std::size_t slot_min_chunk();
+  static constexpr std::size_t kDefaultSlotMinChunk = 1024;
+
   // Runs fn(i) for every i in [0, count) on this pool's workers and blocks
   // until all calls return. Unlike the static parallel_for, the pool (and
   // its threads) persist across calls, so the per-call cost is one task

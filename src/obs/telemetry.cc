@@ -34,6 +34,22 @@ std::size_t RunTelemetry::warm_fallback_slots() const {
   return n;
 }
 
+std::size_t RunTelemetry::active_set_slots() const {
+  std::size_t n = 0;
+  for (const SlotTelemetry& slot : slots) {
+    if (slot.has_solve && slot.solve.active_set) ++n;
+  }
+  return n;
+}
+
+std::size_t RunTelemetry::active_fallback_slots() const {
+  std::size_t n = 0;
+  for (const SlotTelemetry& slot : slots) {
+    if (slot.has_solve && slot.solve.active_fallback) ++n;
+  }
+  return n;
+}
+
 void TelemetrySink::begin_run(std::string algorithm, std::size_t num_clouds,
                               std::size_t num_users, std::size_t num_slots) {
   run_ = RunTelemetry{};

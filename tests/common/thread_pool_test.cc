@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -50,6 +51,59 @@ TEST(ThreadPool, ResolveThreadsIsAtLeastOne) {
   ::setenv("ECA_THREADS", "0", 1);  // non-positive env falls through
   EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
   ::unsetenv("ECA_THREADS");
+}
+
+TEST(ThreadPool, ResolveSlotThreadsAppliesMinWorkFloor) {
+  // Uncapped (cap_to_hardware=false): threads = min(requested,
+  // work / min_work), never below 1 — tiny slots run serial, the cap
+  // scales linearly, and ample work keeps the request. Exercised without
+  // the hardware cap so the expectations hold on any machine.
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(8, 100, 1024, false), 1u);
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(8, 1024, 1024, false), 1u);
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(8, 4096, 1024, false), 4u);
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(8, 100000, 1024, false), 8u);
+  // min_work=0 is treated as 1 (no division by zero).
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(4, 100, 0, false), 4u);
+  // A serial request short-circuits regardless of work volume.
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(1, 100000, 1, false), 1u);
+}
+
+TEST(ThreadPool, ResolveSlotThreadsCapsAtHardwareConcurrency) {
+  // Default policy (cap_to_hardware=true): CPU-bound assembly never gets
+  // more workers than cores, whatever the request or work volume.
+  const unsigned raw_hw = std::thread::hardware_concurrency();
+  const std::size_t hw = raw_hw > 0 ? raw_hw : 1;
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(8, 100000, 1024),
+            std::min<std::size_t>(8, hw));
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(
+                static_cast<int>(hw) + 4, 1u << 30, 1),
+            hw);
+  // The min-work floor still applies under the cap.
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(static_cast<int>(hw) + 4, 100,
+                                             1024),
+            1u);
+  // And lifting the cap honors the request verbatim.
+  EXPECT_EQ(ThreadPool::resolve_slot_threads(static_cast<int>(hw) + 4,
+                                             1u << 30, 1, false),
+            hw + 4);
+}
+
+TEST(ThreadPool, SlotMinChunkReadsEnv) {
+  ::unsetenv("ECA_SLOT_MIN_CHUNK");
+  EXPECT_EQ(ThreadPool::slot_min_chunk(), ThreadPool::kDefaultSlotMinChunk);
+  ::setenv("ECA_SLOT_MIN_CHUNK", "256", 1);
+  EXPECT_EQ(ThreadPool::slot_min_chunk(), 256u);
+  ::setenv("ECA_SLOT_MIN_CHUNK", "", 1);  // empty means unset
+  EXPECT_EQ(ThreadPool::slot_min_chunk(), ThreadPool::kDefaultSlotMinChunk);
+  ::unsetenv("ECA_SLOT_MIN_CHUNK");
+  // Invalid values exit(2) — fail-fast, checked via a death assertion.
+  ::setenv("ECA_SLOT_MIN_CHUNK", "fast", 1);
+  EXPECT_EXIT(ThreadPool::slot_min_chunk(), ::testing::ExitedWithCode(2),
+              "ECA_SLOT_MIN_CHUNK");
+  ::setenv("ECA_SLOT_MIN_CHUNK", "0", 1);
+  EXPECT_EXIT(ThreadPool::slot_min_chunk(), ::testing::ExitedWithCode(2),
+              "ECA_SLOT_MIN_CHUNK");
+  ::unsetenv("ECA_SLOT_MIN_CHUNK");
 }
 
 }  // namespace

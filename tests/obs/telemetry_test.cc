@@ -1,4 +1,4 @@
-// TelemetrySink / RunTelemetry accounting and the eca.telemetry.v1 JSON
+// TelemetrySink / RunTelemetry accounting and the eca.telemetry.v2 JSON
 // emitted by io::write_telemetry. The Python side of the contract lives in
 // scripts/validate_telemetry.py, which check.sh runs on a real instrumented
 // trajectory; this test pins the C++ aggregation and serialization.
@@ -31,6 +31,12 @@ RunTelemetry sample_run() {
       slot.solve.kkt_dual_residual = 2e-10;
       slot.solve.warm_started = (t == 2);
       slot.solve.warm_fallback = (t == 1);
+      slot.solve.active_set = true;
+      slot.solve.active_fallback = (t == 1);
+      slot.solve.active_rounds = static_cast<int>(t);
+      slot.solve.active_nnz = 40 + static_cast<long long>(t);
+      slot.solve.active_support_max = 4;
+      slot.solve.certify_residual = 1e-12;
       slot.solve.solve_seconds = 0.25;
     }
     sink.record_slot(slot);
@@ -60,6 +66,8 @@ TEST(Telemetry, CostSumsAndAggregates) {
   EXPECT_EQ(run.total_newton_iterations(), 11 + 12);
   EXPECT_EQ(run.warm_started_slots(), 1u);
   EXPECT_EQ(run.warm_fallback_slots(), 1u);
+  EXPECT_EQ(run.active_set_slots(), 2u);
+  EXPECT_EQ(run.active_fallback_slots(), 1u);
 }
 
 TEST(Telemetry, SinkResetsBetweenRuns) {
@@ -80,12 +88,14 @@ TEST(Telemetry, WriteTelemetryEmitsSchemaAndSlots) {
   std::ostringstream os;
   io::write_telemetry(os, run);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"eca.telemetry.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"eca.telemetry.v2\""), std::string::npos);
   EXPECT_NE(json.find("\"algorithm\": \"online-approx\""), std::string::npos);
   EXPECT_NE(json.find("\"num_slots\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"total_newton_iterations\": 23"), std::string::npos);
   EXPECT_NE(json.find("\"warm_started_slots\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"warm_fallback_slots\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"active_set_slots\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"active_fallback_slots\": 1"), std::string::npos);
   // Slot 0 has no solver record; slots 1 and 2 do.
   EXPECT_NE(json.find("{\"slot\":0,"), std::string::npos);
   EXPECT_EQ(json.find("{\"slot\":0,\"cost_operation\":1,"
@@ -96,6 +106,8 @@ TEST(Telemetry, WriteTelemetryEmitsSchemaAndSlots) {
   EXPECT_NE(json.find("\"solve\":{\"newton_iterations\":11,"),
             std::string::npos);
   EXPECT_NE(json.find("\"warm_fallback\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"active_fallback\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"active_nnz\":41"), std::string::npos);
   // Exactly two solve records.
   std::size_t solves = 0;
   for (std::size_t at = json.find("\"solve\":"); at != std::string::npos;

@@ -85,6 +85,8 @@ SolverMetricTotals run_trajectory(int threads) {
   RegularizedOptions opt;
   opt.slot_threads = threads;
   opt.chunk_users = 64;
+  opt.slot_min_users = 1;         // keep the pool engaged at 300 users
+  opt.slot_oversubscribe = true;  // real workers even on few cores
   NewtonWorkspace ws;
   RegularizedProblem p = make_problem(rng, 5, 300);
   for (int t = 0; t < 3; ++t) {
@@ -150,6 +152,8 @@ TEST_F(ObsParallelTest, SolveWithMetricsOffMatchesMetricsOn) {
   RegularizedOptions opt;
   opt.slot_threads = 2;
   opt.chunk_users = 64;
+  opt.slot_min_users = 1;
+  opt.slot_oversubscribe = true;
   NewtonWorkspace ws_on;
   obs::set_metrics_enabled(true);
   const RegularizedSolution on = RegularizedSolver(opt).solve(p, ws_on);
