@@ -23,7 +23,8 @@ if [[ "${ECA_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan-smoke: build with -DECA_SANITIZE=thread =="
   cmake -B build-tsan -S . -DECA_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
-    --target test_runner_determinism test_slot_parallel test_obs_parallel
+    --target test_runner_determinism test_slot_parallel test_obs_parallel \
+             test_pdhg_parallel
   echo "== tsan-smoke: ctest -L tsan-smoke =="
   ctest --test-dir build-tsan -L tsan-smoke --output-on-failure
 else
@@ -49,7 +50,17 @@ ECA_SWEEP_MAX_USERS=1024 ECA_SWEEP_SLOTS=2 ECA_USERS=15 ECA_SLOTS=8 \
   ECA_REPS=1 ECA_BENCH_JSON=build/BENCH_solvers.quick.json \
   ./build/bench/bench_solvers
 
-echo "== perf guard: active-set + adaptive-granularity gates =="
-python3 scripts/perf_guard.py build/BENCH_solvers.quick.json
+echo "== bench: offline horizon-LP sweep (quick mode) =="
+# Two small points under a tight iteration budget: exercises the
+# BENCH_offline.json emitter, the serial-vs-N-thread legs and the bitwise
+# cross-check end to end (the committed BENCH file is regenerated
+# separately at full scale).
+ECA_OFFLINE_MAX_USERS=32 ECA_OFFLINE_SLOTS=8 ECA_OFFLINE_MAX_ITERS=2000 \
+  ECA_BENCH_OFFLINE_JSON=build/BENCH_offline.quick.json \
+  ./build/bench/bench_offline
+
+echo "== perf guard: active-set + adaptive-granularity + LP-thread gates =="
+python3 scripts/perf_guard.py build/BENCH_solvers.quick.json \
+  build/BENCH_offline.quick.json
 
 echo "== check.sh: all gates passed =="

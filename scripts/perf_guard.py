@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Performance gate over a BENCH_solvers.json slot sweep.
+"""Performance gate over a BENCH json file.
 
-    scripts/perf_guard.py BENCH_solvers.json
+    scripts/perf_guard.py BENCH_solvers.json [BENCH_offline.json ...]
 
-Reads an eca.bench_solvers.v3 file and fails (exit 1) when the sweep shows
-a regression the repo has promised not to reintroduce:
+Dispatches on the file's "schema" field and fails (exit 1) when it shows a
+regression the repo has promised not to reintroduce.
+
+eca.bench_solvers.v3 (slot sweep):
 
   * the active-set path slower than the dense 1-thread path at any point
     with J >= 1024 (small points may legitimately lose to admit-and-resolve
@@ -15,12 +17,24 @@ a regression the repo has promised not to reintroduce:
     points it collapses to serial report speedup 1.0 by construction;
   * any bit_identical=false — thread count must never change results.
 
-Exits 0 with a summary line when every check passes.
+eca.bench_offline.v1 (parallel PDHG horizon-LP sweep):
+
+  * any bit_identical=false — the partitioned solve must be bit-identical
+    to serial for every LP thread count;
+  * any pool-engaged point with speedup below 0.95 (same granularity-floor
+    contract as above);
+  * the largest pool-engaged point must beat serial outright (speedup
+    > 1.0) — that scale is the reason the parallel path exists. On hosts
+    where no point engages the pool (1-CPU CI containers: the
+    hardware-concurrency cap collapses every leg to serial) the gate prints
+    a note instead; bit-identity is still enforced via the oversubscribed
+    determinism tests.
+
+Exits 0 with a summary line per file when every check passes.
 """
 import json
 import sys
 
-SCHEMA = "eca.bench_solvers.v3"
 ACTIVE_GATE_USERS = 1024
 MIN_POOL_SPEEDUP = 0.95
 
@@ -30,18 +44,7 @@ def fail(message):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} BENCH_solvers.json")
-    path = sys.argv[1]
-    try:
-        with open(path, encoding="utf-8") as handle:
-            bench = json.load(handle)
-    except (OSError, json.JSONDecodeError) as err:
-        fail(f"{path}: {err}")
-    schema = bench.get("schema")
-    if schema != SCHEMA:
-        fail(f"{path}: schema is {schema!r}, expected {SCHEMA!r}")
+def check_solvers(path, bench):
     points = bench.get("slot_sweep", {}).get("points", [])
     if not points:
         fail(f"{path}: slot_sweep has no points")
@@ -67,6 +70,58 @@ def main():
               "active-vs-dense gate not exercised")
     print(f"perf_guard: OK: {path}: {len(points)} sweep points "
           f"({gated} under the active-vs-dense gate)")
+
+
+def check_offline(path, bench):
+    points = bench.get("points", [])
+    if not points:
+        fail(f"{path}: no sweep points")
+    engaged = [p for p in points if p["pool_engaged"]]
+    for point in points:
+        where = f"{path}: J={point['users']} T={point['slots']}"
+        if not point["bit_identical"]:
+            fail(f"{where}: bit_identical=false — LP thread count changed "
+                 "the solve")
+        if point["pool_engaged"] and point["speedup"] < MIN_POOL_SPEEDUP:
+            fail(f"{where}: multi-thread speedup {point['speedup']:.3f} < "
+                 f"{MIN_POOL_SPEEDUP} with the pool engaged; the "
+                 "nonzeros-per-worker floor should have kept this point "
+                 "serial")
+    if engaged:
+        largest = max(engaged, key=lambda p: p["nnz"])
+        if largest["speedup"] <= 1.0:
+            fail(f"{path}: J={largest['users']} T={largest['slots']} "
+                 f"(largest engaged point, {largest['nnz']} nnz): speedup "
+                 f"{largest['speedup']:.3f} <= 1.0 — the parallel PDHG path "
+                 "must beat serial at scale")
+    else:
+        print(f"perf_guard: note: {path}: no point engaged the pool "
+              "(hardware-concurrency cap); speedup gates not exercised")
+    print(f"perf_guard: OK: {path}: {len(points)} offline points "
+          f"({len(engaged)} pool-engaged)")
+
+
+CHECKS = {
+    "eca.bench_solvers.v3": check_solvers,
+    "eca.bench_offline.v1": check_offline,
+}
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} BENCH.json [BENCH.json ...]")
+    for path in sys.argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                bench = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            fail(f"{path}: {err}")
+        schema = bench.get("schema")
+        check = CHECKS.get(schema)
+        if check is None:
+            fail(f"{path}: unknown schema {schema!r}; expected one of "
+                 f"{sorted(CHECKS)}")
+        check(path, bench)
 
 
 if __name__ == "__main__":

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "solve/ipm_lp.h"
 #include "solve/pdhg_lp.h"
 
@@ -66,7 +67,14 @@ solve::LpProblem build_offline_lp(const model::Instance& instance) {
     }
   }
 
+  lp.row_block_starts.reserve(kT);
   for (std::size_t t = 0; t < kT; ++t) {
+    // The constraint rows form a time staircase: slot t's rows touch only
+    // x_{·,·,t} and x_{·,·,t-1} (plus slot-t u/v). Recording each slot's
+    // first row lets row-partitioned solvers align worker boundaries to
+    // slots, so a worker's reads cover a contiguous at-most-two-slot
+    // variable slice.
+    lp.row_block_starts.push_back(lp.num_rows);
     // Demand.
     for (std::size_t j = 0; j < kJ; ++j) {
       const auto row = lp.add_row_geq(instance.demand[j]);
@@ -111,10 +119,20 @@ OfflineResult solve_offline(const model::Instance& instance,
 
   OfflineResult result;
   solve::LpSolution sol;
+  // Auto solver choice: the dense IPM wins below a few hundred rows, PDHG
+  // above. Parallel PDHG shifts the crossover downward — its per-iteration
+  // cost drops with the worker count while the IPM's O(rows^3) factor does
+  // not — so when LP threads are engaged the IPM cutoff is halved. With
+  // ECA_LP_THREADS unset (the default) this resolves to 1 and the choice is
+  // unchanged.
+  const std::size_t lp_workers =
+      eca::ThreadPool::resolve_lp_threads(options.lp_threads);
+  const std::size_t ipm_limit =
+      lp_workers > 1 ? options.ipm_row_limit / 2 : options.ipm_row_limit;
   const bool use_ipm =
       options.solver == OfflineOptions::Solver::kInteriorPoint ||
       (options.solver == OfflineOptions::Solver::kAuto &&
-       lp.num_rows <= options.ipm_row_limit);
+       lp.num_rows <= ipm_limit);
   if (use_ipm) {
     solve::IpmOptions ipm;
     ipm.verbose = options.verbose;
@@ -127,6 +145,9 @@ OfflineResult solve_offline(const model::Instance& instance,
     // objective is what matters, so don't wait for PDHG's slowly-converging
     // dual certificate.
     pdhg.gate_on_dual_residual = false;
+    pdhg.lp_threads = options.lp_threads;
+    pdhg.lp_oversubscribe = options.lp_oversubscribe;
+    pdhg.min_nnz_per_thread = options.lp_min_nnz_per_thread;
     pdhg.verbose = options.verbose;
     sol = solve::PdhgLp(pdhg).solve(lp);
     // Extreme weight ratios (the Figure-4 mu sweep spans six orders of

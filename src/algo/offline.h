@@ -28,6 +28,14 @@ struct OfflineOptions {
   // chasing 1e-5; see tests/algo/offline_test.cc for the accuracy check.
   double pdhg_tolerance = 5e-4;
   int pdhg_max_iterations = 400000;
+  // Worker threads for the PDHG path (0 = resolve from ECA_LP_THREADS,
+  // default serial). The solve is bit-identical for every thread count.
+  int lp_threads = 0;
+  // Forwarded to PdhgOptions: lifts the hardware-concurrency cap and the
+  // nonzeros-per-worker floor so determinism tests can engage the pool on
+  // small LPs / small machines. Leave at defaults in production.
+  bool lp_oversubscribe = false;
+  std::size_t lp_min_nnz_per_thread = 32768;
   bool verbose = false;
 };
 

@@ -90,10 +90,13 @@ std::size_t ThreadPool::resolve_slot_threads(int requested) {
   return 1;
 }
 
-std::size_t ThreadPool::resolve_slot_threads(int requested, std::size_t work,
-                                             std::size_t min_work,
-                                             bool cap_to_hardware) {
-  std::size_t base = resolve_slot_threads(requested);
+namespace {
+
+// Shared work-volume cap for the slot and LP policies: never dispatch a
+// worker that would cover less than `min_work` units, never oversubscribe
+// the hardware unless explicitly asked to.
+std::size_t cap_by_work(std::size_t base, std::size_t work,
+                        std::size_t min_work, bool cap_to_hardware) {
   if (base <= 1) return 1;
   if (cap_to_hardware) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -102,6 +105,29 @@ std::size_t ThreadPool::resolve_slot_threads(int requested, std::size_t work,
   const std::size_t floor = std::max<std::size_t>(1, min_work);
   const std::size_t cap = std::max<std::size_t>(1, work / floor);
   return std::min(base, cap);
+}
+
+}  // namespace
+
+std::size_t ThreadPool::resolve_slot_threads(int requested, std::size_t work,
+                                             std::size_t min_work,
+                                             bool cap_to_hardware) {
+  return cap_by_work(resolve_slot_threads(requested), work, min_work,
+                     cap_to_hardware);
+}
+
+std::size_t ThreadPool::resolve_lp_threads(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const std::int64_t from_env = env_int("ECA_LP_THREADS", 0);
+  if (from_env > 0) return static_cast<std::size_t>(from_env);
+  return 1;
+}
+
+std::size_t ThreadPool::resolve_lp_threads(int requested, std::size_t work,
+                                           std::size_t min_work,
+                                           bool cap_to_hardware) {
+  return cap_by_work(resolve_lp_threads(requested), work, min_work,
+                     cap_to_hardware);
 }
 
 std::size_t ThreadPool::slot_min_chunk() {

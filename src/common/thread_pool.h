@@ -50,6 +50,22 @@ class ThreadPool {
   // oversubscribe; slot parallelism is opt-in for single-trajectory runs.
   static std::size_t resolve_slot_threads(int requested = 0);
 
+  // Horizon-LP (PDHG) thread policy: `requested` if positive, else
+  // ECA_LP_THREADS if set and positive, else 1. Like the slot policy the
+  // default is serial: the experiment runner parallelizes across
+  // repetitions, and the offline LP solve runs inside one repetition task —
+  // LP-level workers are opt-in for single-instance / benchmark runs.
+  static std::size_t resolve_lp_threads(int requested = 0);
+
+  // Work-aware overload mirroring resolve_slot_threads below: capped so
+  // every dispatched worker covers at least `min_work` units of `work`
+  // (the PDHG solver passes matrix nonzeros — one worker per few tens of
+  // thousands of nonzeros is the break-even against task dispatch) and,
+  // unless `cap_to_hardware` is false, by hardware_concurrency.
+  static std::size_t resolve_lp_threads(int requested, std::size_t work,
+                                        std::size_t min_work,
+                                        bool cap_to_hardware = true);
+
   // Work-aware overload: the base policy above, capped so that every
   // dispatched worker covers at least `min_work` units of `work` (the
   // minimum-work-per-chunk floor that keeps small solves off the pool —

@@ -70,4 +70,71 @@ void gemv_cols_acc_reference(const double* b, std::size_t rows,
   }
 }
 
+void pdhg_primal_step(const double* x, const double* kty, const double* c,
+                      const double* lb, const double* ub, double tau,
+                      std::size_t j0, std::size_t j1, double* x_next,
+                      double* extrap, double* x_sum) {
+  const double* __restrict xp = x;
+  const double* __restrict kp = kty;
+  const double* __restrict cp = c;
+  const double* __restrict lp = lb;
+  const double* __restrict up = ub;
+  double* __restrict np = x_next;
+  double* __restrict ep = extrap;
+  double* __restrict sp = x_sum;
+  ECA_SIMD
+  for (std::size_t j = j0; j < j1; ++j) {
+    // min/max against ±inf bounds are exact no-ops, so no branch is needed.
+    double v = xp[j] - tau * (cp[j] - kp[j]);
+    v = v < lp[j] ? lp[j] : v;
+    v = v > up[j] ? up[j] : v;
+    np[j] = v;
+    ep[j] = 2.0 * v - xp[j];
+    sp[j] += v;
+  }
+}
+
+void pdhg_primal_step_reference(const double* x, const double* kty,
+                                const double* c, const double* lb,
+                                const double* ub, double tau, std::size_t j0,
+                                std::size_t j1, double* x_next, double* extrap,
+                                double* x_sum) {
+  for (std::size_t j = j0; j < j1; ++j) {
+    double v = x[j] - tau * (c[j] - kty[j]);
+    if (v < lb[j]) v = lb[j];
+    if (v > ub[j]) v = ub[j];
+    x_next[j] = v;
+    extrap[j] = 2.0 * v - x[j];
+    x_sum[j] += v;
+  }
+}
+
+void pdhg_dual_step(double* y, const double* kx, const double* q,
+                    const unsigned char* eq_mask, double sigma,
+                    std::size_t r0, std::size_t r1, double* y_sum) {
+  double* __restrict yp = y;
+  const double* __restrict kp = kx;
+  const double* __restrict qp = q;
+  const unsigned char* __restrict mp = eq_mask;
+  double* __restrict sp = y_sum;
+  ECA_SIMD
+  for (std::size_t r = r0; r < r1; ++r) {
+    double v = yp[r] + sigma * (qp[r] - kp[r]);
+    if (mp[r] == 0 && v < 0.0) v = 0.0;
+    yp[r] = v;
+    sp[r] += v;
+  }
+}
+
+void pdhg_dual_step_reference(double* y, const double* kx, const double* q,
+                              const unsigned char* eq_mask, double sigma,
+                              std::size_t r0, std::size_t r1, double* y_sum) {
+  for (std::size_t r = r0; r < r1; ++r) {
+    double v = y[r] + sigma * (q[r] - kx[r]);
+    if (eq_mask[r] == 0 && v < 0.0) v = 0.0;
+    y[r] = v;
+    y_sum[r] += v;
+  }
+}
+
 }  // namespace eca::linalg

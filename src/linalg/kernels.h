@@ -51,4 +51,37 @@ void gemv_cols_acc_reference(const double* b, std::size_t rows,
                              std::size_t ldb, const double* x, std::size_t j0,
                              std::size_t j1, double* out);
 
+// --- Fused PDHG iteration kernels -----------------------------------------
+//
+// One pass each over a half-open index range; PdhgLp partitions the ranges
+// over its pool. Both kernels are pure elementwise maps, so the optimized
+// paths must agree with the `_reference` twins EXACTLY (bit-for-bit), and
+// any range partition reproduces the whole-range result bit-for-bit.
+
+// Primal step + extrapolation + running-average accumulation over [j0, j1):
+//   x_next[j]  = clamp(x[j] - tau * (c[j] - kty[j]), lb[j], ub[j])
+//   extrap[j]  = 2 * x_next[j] - x[j]
+//   x_sum[j]  += x_next[j]
+// lb/ub entries may be ±inf (clamp against an infinite bound is a no-op).
+void pdhg_primal_step(const double* x, const double* kty, const double* c,
+                      const double* lb, const double* ub, double tau,
+                      std::size_t j0, std::size_t j1, double* x_next,
+                      double* extrap, double* x_sum);
+void pdhg_primal_step_reference(const double* x, const double* kty,
+                                const double* c, const double* lb,
+                                const double* ub, double tau, std::size_t j0,
+                                std::size_t j1, double* x_next, double* extrap,
+                                double* x_sum);
+
+// Dual ascent + cone projection + running-average accumulation over [r0, r1):
+//   y[r]      = y[r] + sigma * (q[r] - kx[r]), then max(., 0) unless
+//               eq_mask[r] != 0 (equality rows keep free duals)
+//   y_sum[r] += y[r]
+void pdhg_dual_step(double* y, const double* kx, const double* q,
+                    const unsigned char* eq_mask, double sigma,
+                    std::size_t r0, std::size_t r1, double* y_sum);
+void pdhg_dual_step_reference(double* y, const double* kx, const double* q,
+                              const unsigned char* eq_mask, double sigma,
+                              std::size_t r0, std::size_t r1, double* y_sum);
+
 }  // namespace eca::linalg

@@ -1,7 +1,29 @@
-// Compressed sparse row matrix used by the first-order LP solver (PDHG).
+// Compressed sparse matrix used by the first-order LP solver (PDHG).
 //
-// Built from triplets; supports matvec with A and A^T, row/column norms for
-// diagonal (Ruiz/Pock-Chambolle) preconditioning.
+// Built from triplets ONCE into a dual CSR + CSC representation: the
+// forward matvec A·x walks rows (CSR), the transpose matvec Aᵀ·y gathers
+// columns (CSC), and both representations share one conversion at
+// construction time. scale() keeps the two in sync, so the conversion is
+// cached across Ruiz passes, power iterations, restarts and KKT scoring —
+// no repeated triplet walks anywhere on the solver path.
+//
+// Every kernel is exposed in three shapes:
+//   * the classic whole-matrix call (serial),
+//   * a half-open range call (`*_range`) covering rows [r0, r1) or columns
+//     [j0, j1) — each output element is reduced over its OWN entries in
+//     fixed storage order, so splitting the index space into ranges can
+//     never change a result bit, and
+//   * a pool-parallel overload taking an explicit partition (a sorted
+//     boundary vector, size P+1) that dispatches one range per part over
+//     an eca::ThreadPool. Outputs of distinct ranges are disjoint, there
+//     are no atomics and no shared accumulators, hence results are
+//     bit-identical to the serial call for ANY partition and thread count.
+//
+// balanced_row_partition / balanced_col_partition produce nonzero-balanced
+// boundaries; the row variant optionally aligns boundaries to
+// caller-provided block starts (the offline horizon LP passes its per-slot
+// row ranges so a worker's rows touch a contiguous, at-most-two-slot slice
+// of x — the time-staircase structure of the problem).
 #pragma once
 
 #include <cstddef>
@@ -10,6 +32,10 @@
 #include "linalg/dense_matrix.h"
 #include "linalg/vector_ops.h"
 
+namespace eca {
+class ThreadPool;
+}  // namespace eca
+
 namespace eca::linalg {
 
 struct Triplet {
@@ -17,6 +43,10 @@ struct Triplet {
   std::size_t col;
   double value;
 };
+
+// Sorted range boundaries, size parts+1, bounds[0] = 0 and bounds.back() =
+// extent; part p covers [bounds[p], bounds[p+1]) (possibly empty).
+using PartitionBounds = std::vector<std::size_t>;
 
 class SparseMatrix {
  public:
@@ -28,10 +58,20 @@ class SparseMatrix {
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] std::size_t nnz() const { return values_.size(); }
 
-  // out = A x
+  // out = A x (out is resized; every element of the range is overwritten).
   void multiply(const Vec& x, Vec& out) const;
-  // out = A^T y
+  void multiply_range(const Vec& x, Vec& out, std::size_t r0,
+                      std::size_t r1) const;
+  void multiply(const Vec& x, Vec& out, ThreadPool* pool,
+                const PartitionBounds& row_bounds) const;
+
+  // out = A^T y, gathered per column in ascending-row storage order (the
+  // same order for the serial and every partitioned call).
   void multiply_transpose(const Vec& y, Vec& out) const;
+  void multiply_transpose_range(const Vec& y, Vec& out, std::size_t j0,
+                                std::size_t j1) const;
+  void multiply_transpose(const Vec& y, Vec& out, ThreadPool* pool,
+                          const PartitionBounds& col_bounds) const;
 
   [[nodiscard]] Vec multiply(const Vec& x) const {
     Vec out(rows_);
@@ -50,12 +90,37 @@ class SparseMatrix {
   // Row/col sums of |A_ij|^p.
   [[nodiscard]] Vec row_power_sums(double p) const;
   [[nodiscard]] Vec col_power_sums(double p) const;
+  // Pool-parallel variants (row-partitioned / column-partitioned; per-element
+  // reductions in storage order, bit-identical to the serial calls).
+  void row_inf_norms(Vec& out, ThreadPool* pool,
+                     const PartitionBounds& row_bounds) const;
+  void col_inf_norms(Vec& out, ThreadPool* pool,
+                     const PartitionBounds& col_bounds) const;
+  void row_power_sums(double p, Vec& out, ThreadPool* pool,
+                      const PartitionBounds& row_bounds) const;
+  void col_power_sums(double p, Vec& out, ThreadPool* pool,
+                      const PartitionBounds& col_bounds) const;
 
-  // Scales A := diag(r) * A * diag(c) in place.
+  // Scales A := diag(r) * A * diag(c) in place (both representations).
   void scale(const Vec& row_scale, const Vec& col_scale);
+  void scale(const Vec& row_scale, const Vec& col_scale, ThreadPool* pool,
+             const PartitionBounds& row_bounds,
+             const PartitionBounds& col_bounds);
 
   // Largest singular value estimate via power iteration on A^T A.
   [[nodiscard]] double spectral_norm_estimate(int iterations = 60) const;
+  [[nodiscard]] double spectral_norm_estimate(
+      int iterations, ThreadPool* pool, const PartitionBounds& row_bounds,
+      const PartitionBounds& col_bounds) const;
+
+  // Nonzero-balanced partition of the row space into `parts` ranges. When
+  // `align` is non-empty (sorted row indices starting each structural
+  // block, e.g. the offline LP's per-slot row ranges), each boundary snaps
+  // to the nearest block start so no worker straddles a partial block.
+  [[nodiscard]] PartitionBounds balanced_row_partition(
+      std::size_t parts, const std::vector<std::size_t>& align = {}) const;
+  [[nodiscard]] PartitionBounds balanced_col_partition(
+      std::size_t parts) const;
 
   [[nodiscard]] DenseMatrix to_dense() const;
 
@@ -67,13 +132,35 @@ class SparseMatrix {
     return col_index_;
   }
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  // Column (CSC) access, built once at construction.
+  [[nodiscard]] const std::vector<std::size_t>& col_starts() const {
+    return col_start_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& row_indices() const {
+    return csc_row_;
+  }
+  [[nodiscard]] const std::vector<double>& csc_values() const {
+    return csc_values_;
+  }
 
  private:
+  // Dispatches fn(part) for each part of `bounds` over `pool` (or inline
+  // when pool is null / there is a single part).
+  template <typename Fn>
+  void for_each_part(ThreadPool* pool, const PartitionBounds& bounds,
+                     const Fn& fn) const;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  // CSR: row r owns entries [row_start_[r], row_start_[r+1]).
   std::vector<std::size_t> row_start_;
   std::vector<std::size_t> col_index_;
   std::vector<double> values_;
+  // CSC mirror: column j owns entries [col_start_[j], col_start_[j+1]),
+  // rows ascending; csc_values_ kept in sync by scale().
+  std::vector<std::size_t> col_start_;
+  std::vector<std::size_t> csc_row_;
+  std::vector<double> csc_values_;
 };
 
 }  // namespace eca::linalg

@@ -32,6 +32,9 @@ std::string LpProblem::validate() const {
     err << "row array sizes inconsistent with num_rows=" << num_rows;
     return err.str();
   }
+  // Single pass per array family, one combined branch per item: validate()
+  // runs ahead of every solve, and the elements array dominates (the
+  // horizon LP carries millions of triplets at benchmark scale).
   for (std::size_t j = 0; j < num_vars; ++j) {
     if (var_lower[j] > var_upper[j]) {
       err << "variable " << j << " has crossed bounds";
@@ -45,12 +48,16 @@ std::string LpProblem::validate() const {
     }
   }
   for (const auto& t : elements) {
-    if (t.row >= num_rows || t.col >= num_vars) {
-      err << "element (" << t.row << ',' << t.col << ") out of range";
+    if (t.row >= num_rows || t.col >= num_vars || !std::isfinite(t.value)) {
+      err << "element (" << t.row << ',' << t.col << ") "
+          << (std::isfinite(t.value) ? "out of range" : "is not finite");
       return err.str();
     }
-    if (!std::isfinite(t.value)) {
-      err << "element (" << t.row << ',' << t.col << ") is not finite";
+  }
+  for (std::size_t b = 0; b < row_block_starts.size(); ++b) {
+    if (row_block_starts[b] > num_rows ||
+        (b > 0 && row_block_starts[b] < row_block_starts[b - 1])) {
+      err << "row_block_starts[" << b << "] is not an ascending row index";
       return err.str();
     }
   }

@@ -1,15 +1,22 @@
 #include "solve/pdhg_lp.h"
-#include "common/log.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "common/check.h"
+#include "common/log.h"
+#include "common/thread_pool.h"
+#include "linalg/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eca::solve {
 namespace {
 
+using linalg::PartitionBounds;
 using linalg::SparseMatrix;
 using linalg::Triplet;
 
@@ -19,9 +26,13 @@ struct Internal {
   std::size_t m = 0;
   Vec c, q, lb, ub;
   std::vector<Triplet> elements;
-  std::vector<bool> is_equality;
+  // eq_mask[r] != 0 marks an equality row (free dual, no cone projection).
+  std::vector<unsigned char> eq_mask;
   // internal row -> (original row, +1 / -1 multiplier on the dual)
   std::vector<std::pair<std::size_t, double>> row_origin;
+  // Internal row index at each structural block start of the original LP
+  // (the offline LP's per-slot staircase); used to align partitions.
+  std::vector<std::size_t> row_blocks;
 };
 
 Internal build_internal(const LpProblem& lp) {
@@ -38,14 +49,20 @@ Internal build_internal(const LpProblem& lp) {
   auto add_row = [&](std::size_t orig, double mult, double rhs, bool eq) {
     const std::size_t r = in.m++;
     in.q.push_back(rhs);
-    in.is_equality.push_back(eq);
+    in.eq_mask.push_back(eq ? 1 : 0);
     in.row_origin.push_back({orig, mult});
     for (const auto& [col, val] : rows[orig]) {
       in.elements.push_back({r, col, mult * val});
     }
   };
 
+  std::size_t next_block = 0;
   for (std::size_t r = 0; r < lp.num_rows; ++r) {
+    while (next_block < lp.row_block_starts.size() &&
+           lp.row_block_starts[next_block] <= r) {
+      in.row_blocks.push_back(in.m);
+      ++next_block;
+    }
     const double lo = lp.row_lower[r];
     const double hi = lp.row_upper[r];
     if (lo == -kInf && hi == kInf) continue;
@@ -67,9 +84,19 @@ struct KktScore {
   [[nodiscard]] double worst() const { return std::max({primal, dual, gap}); }
 };
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 LpSolution PdhgLp::solve(const LpProblem& lp) const {
+  obs::TraceSpan solve_span(obs::global_trace(), "lp_pdhg_solve");
+  const bool metrics_on = obs::metrics_enabled();
+  const auto solve_start = std::chrono::steady_clock::now();
+
   LpSolution sol;
   const std::string problem_error = lp.validate();
   ECA_CHECK(problem_error.empty(), problem_error);
@@ -106,46 +133,76 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
       }
     }
     sol.row_duals.assign(lp.num_rows, 0.0);
-    sol.objective_value = linalg::dot(in.c, sol.x);
+    sol.objective_value = linalg::dot(lp.objective, sol.x);
     sol.status = SolveStatus::kOptimal;
     return sol;
   }
 
-  // --- Diagonal (Ruiz) rescaling ------------------------------------------
-  Vec row_scale(m, 1.0), col_scale(n, 1.0);
+  // One-time triplet -> CSR+CSC conversion; every later pass (Ruiz, power
+  // iteration, the iteration kernels, KKT scoring) reuses it — scale()
+  // keeps both representations in sync.
   SparseMatrix k(m, n, in.elements);
-  for (int it = 0; it < options_.ruiz_iterations; ++it) {
-    Vec rn = k.row_inf_norms();
-    Vec cn = k.col_inf_norms();
-    Vec dr(m), dc(n);
-    for (std::size_t r = 0; r < m; ++r) {
-      dr[r] = rn[r] > 0.0 ? 1.0 / std::sqrt(rn[r]) : 1.0;
-      row_scale[r] *= dr[r];
-    }
-    for (std::size_t j = 0; j < n; ++j) {
-      dc[j] = cn[j] > 0.0 ? 1.0 / std::sqrt(cn[j]) : 1.0;
-      col_scale[j] *= dc[j];
-    }
-    k.scale(dr, dc);
-  }
+  in.elements.clear();
+  in.elements.shrink_to_fit();
+
+  // Parallelism: worker count capped by work volume (nonzeros per worker)
+  // and hardware concurrency; 1 means the exact serial path. The
+  // partitions are nonzero-balanced and never split a row/column, so every
+  // output element is reduced over its own entries in fixed storage order
+  // — results are bit-identical for every resolved thread count.
+  const std::size_t threads = ThreadPool::resolve_lp_threads(
+      options_.lp_threads, k.nnz(), options_.min_nnz_per_thread,
+      /*cap_to_hardware=*/!options_.lp_oversubscribe);
+  std::optional<ThreadPool> owned_pool;
+  if (threads > 1) owned_pool.emplace(threads);
+  ThreadPool* pool = owned_pool ? &*owned_pool : nullptr;
+  // Align row partitions to the LP's structural blocks when there are
+  // enough blocks to keep the partition balanced (the offline horizon LP
+  // has one block per slot, so a worker's rows touch a contiguous,
+  // at-most-two-slot slice of x).
+  const bool align_blocks = in.row_blocks.size() >= threads;
+  const PartitionBounds row_bounds = k.balanced_row_partition(
+      threads, align_blocks ? in.row_blocks : std::vector<std::size_t>{});
+  const PartitionBounds col_bounds = k.balanced_col_partition(threads);
+  solve_span.set_arg("threads", static_cast<double>(threads));
+
+  // --- Diagonal (Ruiz) rescaling ------------------------------------------
+  const auto scale_start = std::chrono::steady_clock::now();
+  Vec row_scale(m, 1.0), col_scale(n, 1.0);
   {
-    // Pock-Chambolle (α = 1) pass: rows and columns of the offline LPs have
-    // very heterogeneous degrees (3-nonzero migration rows next to
-    // (2J+1)-nonzero reconfiguration rows); dividing by the L1 norms makes
-    // the scalar step size effective for every coordinate and guarantees
-    // ||K|| <= 1 for the scaled matrix.
-    Vec rs = k.row_power_sums(1.0);
-    Vec cs = k.col_power_sums(1.0);
-    Vec dr(m), dc(n);
-    for (std::size_t r = 0; r < m; ++r) {
-      dr[r] = rs[r] > 0.0 ? 1.0 / std::sqrt(rs[r]) : 1.0;
-      row_scale[r] *= dr[r];
+    obs::TraceSpan scale_span(obs::global_trace(), "lp_pdhg_scale");
+    Vec rn(m), cn(n), dr(m), dc(n);
+    for (int it = 0; it < options_.ruiz_iterations; ++it) {
+      k.row_inf_norms(rn, pool, row_bounds);
+      k.col_inf_norms(cn, pool, col_bounds);
+      for (std::size_t r = 0; r < m; ++r) {
+        dr[r] = rn[r] > 0.0 ? 1.0 / std::sqrt(rn[r]) : 1.0;
+        row_scale[r] *= dr[r];
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        dc[j] = cn[j] > 0.0 ? 1.0 / std::sqrt(cn[j]) : 1.0;
+        col_scale[j] *= dc[j];
+      }
+      k.scale(dr, dc, pool, row_bounds, col_bounds);
     }
-    for (std::size_t j = 0; j < n; ++j) {
-      dc[j] = cs[j] > 0.0 ? 1.0 / std::sqrt(cs[j]) : 1.0;
-      col_scale[j] *= dc[j];
+    {
+      // Pock-Chambolle (α = 1) pass: rows and columns of the offline LPs
+      // have very heterogeneous degrees (3-nonzero migration rows next to
+      // (2J+1)-nonzero reconfiguration rows); dividing by the L1 norms
+      // makes the scalar step size effective for every coordinate and
+      // guarantees ||K|| <= 1 for the scaled matrix.
+      k.row_power_sums(1.0, rn, pool, row_bounds);
+      k.col_power_sums(1.0, cn, pool, col_bounds);
+      for (std::size_t r = 0; r < m; ++r) {
+        dr[r] = rn[r] > 0.0 ? 1.0 / std::sqrt(rn[r]) : 1.0;
+        row_scale[r] *= dr[r];
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        dc[j] = cn[j] > 0.0 ? 1.0 / std::sqrt(cn[j]) : 1.0;
+        col_scale[j] *= dc[j];
+      }
+      k.scale(dr, dc, pool, row_bounds, col_bounds);
     }
-    k.scale(dr, dc);
   }
   // Scaled data: variables x = D_c x̂, duals y = D_r ŷ.
   Vec c_s(n), q_s(m), lb_s(n), ub_s(n);
@@ -156,7 +213,9 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
   }
   for (std::size_t r = 0; r < m; ++r) q_s[r] = in.q[r] * row_scale[r];
 
-  const double k_norm = std::max(k.spectral_norm_estimate(), 1e-12);
+  const double k_norm = std::max(
+      k.spectral_norm_estimate(60, pool, row_bounds, col_bounds), 1e-12);
+  const double scale_seconds = seconds_since(scale_start);
   const double eta = 0.998 / k_norm;
   double omega = 1.0;
   {
@@ -167,7 +226,10 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
 
   Vec x(n, 0.0), y(m, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
-    if (lb_s[j] > 0.0 || (ub_s[j] < kInf && ub_s[j] < 0.0)) {
+    // Move variables whose box excludes 0 onto the nearer bound (ub < 0
+    // already implies a finite upper bound; validate() guarantees
+    // lb <= ub, so the clamp is well-formed).
+    if (lb_s[j] > 0.0 || ub_s[j] < 0.0) {
       x[j] = std::clamp(0.0, lb_s[j], ub_s[j]);
     }
   }
@@ -176,27 +238,37 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
 
   Vec kx(m), kty(n), x_next(n), extrap(n);
   Vec x_unscaled(n), y_unscaled(m), row_value(m), reduced(n);
+  // Hoisted out of the restart/check loop: the RHS/objective norms are
+  // functions of the (fixed) unscaled data, and the average buffers are
+  // reused across every check instead of reallocated.
+  Vec x_avg(n), y_avg(m);
+  double q_norm = 1.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    q_norm = std::max(q_norm, std::abs(in.q[r]));
+  }
+  double c_norm = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    c_norm = std::max(c_norm, std::abs(in.c[j]));
+  }
 
-  // KKT residuals in the ORIGINAL (unscaled) space.
+  // KKT residuals in the ORIGINAL (unscaled) space. The two matvecs are
+  // partitioned over the pool; every cross-element reduction (max, sums)
+  // stays on the driving thread so scores are thread-count independent.
   auto evaluate = [&](const Vec& xs, const Vec& ys) {
     for (std::size_t j = 0; j < n; ++j) x_unscaled[j] = xs[j] * col_scale[j];
     for (std::size_t r = 0; r < m; ++r) y_unscaled[r] = ys[r] * row_scale[r];
     // Row values with the ORIGINAL matrix = D_r^{-1} K̂ D_c^{-1} x.
-    k.multiply(xs, row_value);  // = D_r (K x)
+    k.multiply(xs, row_value, pool, row_bounds);  // = D_r (K x)
     KktScore score;
-    double q_norm = 1.0;
-    for (std::size_t r = 0; r < m; ++r) q_norm = std::max(q_norm, std::abs(in.q[r]));
     for (std::size_t r = 0; r < m; ++r) {
       const double value = row_value[r] / row_scale[r];
       const double gap = in.q[r] - value;
-      const double viol = in.is_equality[r] ? std::abs(gap) : std::max(0.0, gap);
+      const double viol = in.eq_mask[r] ? std::abs(gap) : std::max(0.0, gap);
       score.primal = std::max(score.primal, viol / q_norm);
     }
     // Reduced costs: c - K'y (original space): K'y = D_c^{-1} K̂' D_r^{-1} y
     // = D_c^{-1} K̂' ŷ.
-    k.multiply_transpose(ys, kty);
-    double c_norm = 1.0;
-    for (std::size_t j = 0; j < n; ++j) c_norm = std::max(c_norm, std::abs(in.c[j]));
+    k.multiply_transpose(ys, kty, pool, col_bounds);
     double dual_obj = 0.0;
     for (std::size_t r = 0; r < m; ++r) dual_obj += in.q[r] * y_unscaled[r];
     for (std::size_t j = 0; j < n; ++j) {
@@ -239,6 +311,39 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
     sol.objective_value = linalg::dot(lp.objective, sol.x);
   };
 
+  // Local perf accounting, folded into the metrics registry once at exit by
+  // this (driving) thread so totals stay bit-deterministic.
+  double kernel_seconds = 0.0;
+  double kkt_seconds = 0.0;
+  std::uint64_t restarts = 0;
+  int iterations_run = 0;
+
+  const std::size_t col_parts = col_bounds.size() - 1;
+  const std::size_t row_parts = row_bounds.size() - 1;
+  const unsigned char* eq_mask = in.eq_mask.data();
+
+  // Fused column pass: Aᵀ·y gathered per column, then the primal
+  // projection/extrapolation/average update on the same range while it is
+  // hot. Fused row pass: A·x̄ per row, then the dual ascent/projection/
+  // average update. Writes of distinct parts are disjoint.
+  auto column_pass = [&](std::size_t p) {
+    const std::size_t j0 = col_bounds[p];
+    const std::size_t j1 = col_bounds[p + 1];
+    k.multiply_transpose_range(y, kty, j0, j1);
+    const double tau = eta / omega;
+    linalg::pdhg_primal_step(x.data(), kty.data(), c_s.data(), lb_s.data(),
+                             ub_s.data(), tau, j0, j1, x_next.data(),
+                             extrap.data(), x_sum.data());
+  };
+  auto row_pass = [&](std::size_t p) {
+    const std::size_t r0 = row_bounds[p];
+    const std::size_t r1 = row_bounds[p + 1];
+    k.multiply_range(extrap, kx, r0, r1);
+    const double sigma = eta * omega;
+    linalg::pdhg_dual_step(y.data(), kx.data(), q_s.data(), eq_mask, sigma,
+                           r0, r1, y_sum.data());
+  };
+
   double restart_score = kInf;
   double previous_candidate_score = kInf;
   std::size_t since_restart = 0;
@@ -246,38 +351,31 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
   Vec best_x = x, best_y = y;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    // x step: x' = proj(x - tau (c - K'y))
-    const double tau = eta / omega;
-    const double sigma = eta * omega;
-    k.multiply_transpose(y, kty);
-    for (std::size_t j = 0; j < n; ++j) {
-      double value = x[j] - tau * (c_s[j] - kty[j]);
-      if (lb_s[j] != -kInf) value = std::max(value, lb_s[j]);
-      if (ub_s[j] != kInf) value = std::min(value, ub_s[j]);
-      x_next[j] = value;
-    }
-    // y step with extrapolated primal.
-    for (std::size_t j = 0; j < n; ++j) extrap[j] = 2.0 * x_next[j] - x[j];
-    k.multiply(extrap, kx);
-    for (std::size_t r = 0; r < m; ++r) {
-      double value = y[r] + sigma * (q_s[r] - kx[r]);
-      if (!in.is_equality[r]) value = std::max(value, 0.0);
-      y[r] = value;
+    const auto iter_start = metrics_on ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
+    if (pool != nullptr) {
+      pool->run_indexed(col_parts, column_pass);
+      pool->run_indexed(row_parts, row_pass);
+    } else {
+      for (std::size_t p = 0; p < col_parts; ++p) column_pass(p);
+      for (std::size_t p = 0; p < row_parts; ++p) row_pass(p);
     }
     x.swap(x_next);
-    linalg::axpy(1.0, x, x_sum);
-    linalg::axpy(1.0, y, y_sum);
     ++avg_count;
     ++since_restart;
+    iterations_run = iter + 1;
+    if (metrics_on) kernel_seconds += seconds_since(iter_start);
 
     if ((iter + 1) % options_.check_every != 0) continue;
 
+    const auto kkt_start = metrics_on ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
     const KktScore cur = evaluate(x, y);
-    Vec x_avg(n), y_avg(m);
     const double inv = 1.0 / static_cast<double>(avg_count);
     for (std::size_t j = 0; j < n; ++j) x_avg[j] = x_sum[j] * inv;
     for (std::size_t r = 0; r < m; ++r) y_avg[r] = y_sum[r] * inv;
     const KktScore avg = evaluate(x_avg, y_avg);
+    if (metrics_on) kkt_seconds += seconds_since(kkt_start);
 
     const bool avg_better = avg.worst() < cur.worst();
     const KktScore& cand_score = avg_better ? avg : cur;
@@ -296,7 +394,7 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
                             : std::max(cand_score.primal, cand_score.gap);
     if (gate < options_.tolerance) {
       finish(cand_x, cand_y, cand_score, iter + 1, SolveStatus::kOptimal);
-      return sol;
+      break;
     }
     best_score = cand_score;
     best_x = cand_x;
@@ -322,6 +420,7 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
       since_restart = 0;
       restart_score = worst;
       previous_candidate_score = kInf;
+      ++restarts;
       // Primal-weight update: push effort toward the lagging residual. Box
       // LPs have a structurally zero dual residual, in which case the ratio
       // carries no signal and the weight is left alone. The update is
@@ -334,8 +433,34 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
       }
     }
   }
-  finish(best_x, best_y, best_score, options_.max_iterations,
-         SolveStatus::kIterationLimit);
+  if (sol.status != SolveStatus::kOptimal) {
+    finish(best_x, best_y, best_score, options_.max_iterations,
+           SolveStatus::kIterationLimit);
+  }
+
+  if (metrics_on) {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& solves = registry.counter("lp.pdhg_solves");
+    static obs::Counter& iters = registry.counter("lp.pdhg_iterations");
+    static obs::Counter& restart_count = registry.counter("lp.pdhg_restarts");
+    static obs::DoubleCounter& total_s =
+        registry.double_counter("lp.pdhg_seconds");
+    static obs::DoubleCounter& scale_s =
+        registry.double_counter("lp.pdhg_scale_seconds");
+    static obs::DoubleCounter& kernel_s =
+        registry.double_counter("lp.pdhg_kernel_seconds");
+    static obs::DoubleCounter& kkt_s =
+        registry.double_counter("lp.pdhg_kkt_seconds");
+    static obs::Gauge& threads_gauge = registry.gauge("lp.pdhg_threads");
+    solves.add();
+    iters.add(static_cast<std::uint64_t>(iterations_run));
+    restart_count.add(restarts);
+    total_s.add(seconds_since(solve_start));
+    scale_s.add(scale_seconds);
+    kernel_s.add(kernel_seconds);
+    kkt_s.add(kkt_seconds);
+    threads_gauge.set(static_cast<double>(threads));
+  }
   return sol;
 }
 

@@ -65,6 +65,44 @@ TEST(Offline, IpmAndPdhgAgree) {
               2e-3 * (1.0 + std::abs(via_ipm.objective_value)));
 }
 
+TEST(Offline, ParallelPdhgMatchesSerialObjective) {
+  // The partitioned PDHG solve is bit-identical to serial by contract
+  // (tests/solve/pdhg_parallel_test.cc); through the offline plumbing the
+  // objective must therefore agree far inside pdhg_tolerance — this guards
+  // the options wiring (lp_threads/lp_oversubscribe forwarding, block
+  // hints) end to end. Oversubscription + a floor of 1 nnz engage the pool
+  // even on 1-CPU CI machines.
+  const Instance instance = small_instance(61, 8, 6);
+  OfflineOptions serial_options;
+  serial_options.solver = OfflineOptions::Solver::kPdhg;
+  serial_options.lp_threads = 1;
+  OfflineOptions parallel_options = serial_options;
+  parallel_options.lp_threads = 4;
+  parallel_options.lp_oversubscribe = true;
+  parallel_options.lp_min_nnz_per_thread = 1;
+  const OfflineResult serial = solve_offline(instance, serial_options);
+  const OfflineResult parallel = solve_offline(instance, parallel_options);
+  ASSERT_EQ(serial.status, solve::SolveStatus::kOptimal);
+  ASSERT_EQ(parallel.status, solve::SolveStatus::kOptimal);
+  EXPECT_EQ(parallel.iterations, serial.iterations);
+  EXPECT_NEAR(parallel.objective_value, serial.objective_value,
+              serial_options.pdhg_tolerance *
+                  (1.0 + std::abs(serial.objective_value)));
+}
+
+TEST(OfflineLp, RecordsPerSlotRowBlocks) {
+  const Instance instance = small_instance(71, 4, 3);
+  const solve::LpProblem lp = build_offline_lp(instance);
+  const std::size_t rows_per_slot =
+      instance.num_users + 2 * instance.num_clouds +
+      instance.num_clouds * instance.num_users;
+  ASSERT_EQ(lp.row_block_starts.size(), instance.num_slots);
+  for (std::size_t t = 0; t < instance.num_slots; ++t) {
+    EXPECT_EQ(lp.row_block_starts[t], t * rows_per_slot) << "slot " << t;
+  }
+  EXPECT_TRUE(lp.validate().empty());
+}
+
 class OfflineLowerBound : public ::testing::TestWithParam<int> {};
 
 TEST_P(OfflineLowerBound, NoOnlineAlgorithmBeatsOffline) {

@@ -88,6 +88,36 @@ TEST(ThreadPool, ResolveSlotThreadsCapsAtHardwareConcurrency) {
             hw + 4);
 }
 
+TEST(ThreadPool, ResolveLpThreadsPolicy) {
+  // Explicit request > ECA_LP_THREADS > default 1 (serial).
+  ::unsetenv("ECA_LP_THREADS");
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(), 1u);
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(6), 6u);
+  ::setenv("ECA_LP_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(0), 3u);
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(5), 5u);  // explicit wins
+  ::setenv("ECA_LP_THREADS", "0", 1);  // non-positive env falls through
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(0), 1u);
+  ::unsetenv("ECA_LP_THREADS");
+}
+
+TEST(ThreadPool, ResolveLpThreadsAppliesWorkFloorAndHardwareCap) {
+  ::unsetenv("ECA_LP_THREADS");
+  // Uncapped: workers = min(requested, nnz / min_nnz), never below 1.
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(8, 1000, 32768, false), 1u);
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(8, 4 * 32768, 32768, false), 4u);
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(8, 1u << 30, 32768, false), 8u);
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(1, 1u << 30, 1, false), 1u);
+  // min_work=0 is treated as 1.
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(4, 100, 0, false), 4u);
+  // Default policy also caps at hardware concurrency.
+  const unsigned raw_hw = std::thread::hardware_concurrency();
+  const std::size_t hw = raw_hw > 0 ? raw_hw : 1;
+  EXPECT_EQ(ThreadPool::resolve_lp_threads(static_cast<int>(hw) + 4,
+                                           1u << 30, 1),
+            hw);
+}
+
 TEST(ThreadPool, SlotMinChunkReadsEnv) {
   ::unsetenv("ECA_SLOT_MIN_CHUNK");
   EXPECT_EQ(ThreadPool::slot_min_chunk(), ThreadPool::kDefaultSlotMinChunk);

@@ -1,0 +1,189 @@
+// Determinism contract of the partitioned SparseMatrix kernels: for ANY
+// partition (and any thread count driving it) every kernel must reproduce
+// the serial whole-matrix call bit for bit — each output element is reduced
+// over its own entries in fixed storage order, so partition boundaries can
+// never change a result. Also covers the balanced/aligned partition shapes
+// and CSR/CSC coherence across scale().
+#include "linalg/sparse_matrix.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "linalg/vector_ops.h"
+
+namespace eca::linalg {
+namespace {
+
+Vec random_vec(Rng& rng, std::size_t n) {
+  Vec v(n);
+  for (double& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+std::vector<Triplet> random_triplets(Rng& rng, std::size_t rows,
+                                     std::size_t cols, double density) {
+  std::vector<Triplet> t;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < density) t.push_back({r, c, rng.uniform(-1.5, 1.5)});
+    }
+  }
+  // A few duplicates: constructor must merge them identically either way.
+  if (!t.empty()) {
+    t.push_back(t.front());
+    t.push_back(t[t.size() / 2]);
+  }
+  return t;
+}
+
+void expect_bits_equal(const Vec& got, const Vec& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << what << " element " << i;
+  }
+}
+
+void check_partition(const PartitionBounds& bounds, std::size_t parts,
+                     std::size_t extent) {
+  ASSERT_EQ(bounds.size(), parts + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), extent);
+  for (std::size_t p = 0; p + 1 < bounds.size(); ++p) {
+    EXPECT_LE(bounds[p], bounds[p + 1]);
+  }
+}
+
+TEST(SparseParallel, PartitionedKernelsBitIdenticalToSerial) {
+  Rng rng(31);
+  const std::size_t rows = 157;
+  const std::size_t cols = 211;
+  const SparseMatrix a(rows, cols, random_triplets(rng, rows, cols, 0.08));
+  const Vec x = random_vec(rng, cols);
+  const Vec y = random_vec(rng, rows);
+
+  const Vec ax_serial = a.multiply(x);
+  const Vec aty_serial = a.multiply_transpose(y);
+  const Vec rn_serial = a.row_inf_norms();
+  const Vec cn_serial = a.col_inf_norms();
+  const Vec rs_serial = a.row_power_sums(1.0);
+  const Vec cs_serial = a.col_power_sums(1.0);
+
+  // Partition counts above the pool size deliberately oversubscribe.
+  for (const std::size_t parts : {1u, 2u, 3u, 7u}) {
+    ThreadPool pool(parts);
+    const PartitionBounds rb = a.balanced_row_partition(parts);
+    const PartitionBounds cb = a.balanced_col_partition(parts);
+    check_partition(rb, parts, rows);
+    check_partition(cb, parts, cols);
+
+    Vec out;
+    a.multiply(x, out, &pool, rb);
+    expect_bits_equal(out, ax_serial, "A*x");
+    a.multiply_transpose(y, out, &pool, cb);
+    expect_bits_equal(out, aty_serial, "A'*y");
+    a.row_inf_norms(out, &pool, rb);
+    expect_bits_equal(out, rn_serial, "row_inf_norms");
+    a.col_inf_norms(out, &pool, cb);
+    expect_bits_equal(out, cn_serial, "col_inf_norms");
+    a.row_power_sums(1.0, out, &pool, rb);
+    expect_bits_equal(out, rs_serial, "row_power_sums");
+    a.col_power_sums(1.0, out, &pool, cb);
+    expect_bits_equal(out, cs_serial, "col_power_sums");
+    EXPECT_EQ(a.spectral_norm_estimate(40, &pool, rb, cb),
+              a.spectral_norm_estimate(40))
+        << parts << " parts";
+  }
+}
+
+TEST(SparseParallel, ScaleKeepsCsrAndCscCoherent) {
+  Rng rng(37);
+  const std::size_t rows = 83;
+  const std::size_t cols = 64;
+  SparseMatrix serial(rows, cols, random_triplets(rng, rows, cols, 0.1));
+  SparseMatrix pooled = serial;
+  Vec dr = random_vec(rng, rows);
+  Vec dc = random_vec(rng, cols);
+  for (double& v : dr) v = 0.5 + std::abs(v);
+  for (double& v : dc) v = 0.5 + std::abs(v);
+
+  ThreadPool pool(3);
+  const PartitionBounds rb = pooled.balanced_row_partition(3);
+  const PartitionBounds cb = pooled.balanced_col_partition(3);
+  serial.scale(dr, dc);
+  pooled.scale(dr, dc, &pool, rb, cb);
+
+  const Vec x = random_vec(rng, cols);
+  const Vec y = random_vec(rng, rows);
+  // Forward multiply reads CSR, transpose reads CSC: after scale() both
+  // representations of both matrices must agree bitwise.
+  expect_bits_equal(pooled.multiply(x), serial.multiply(x), "A*x post-scale");
+  expect_bits_equal(pooled.multiply_transpose(y), serial.multiply_transpose(y),
+                    "A'*y post-scale");
+  Vec out;
+  pooled.multiply(x, out, &pool, rb);
+  expect_bits_equal(out, serial.multiply(x), "pooled A*x post-scale");
+  pooled.multiply_transpose(y, out, &pool, cb);
+  expect_bits_equal(out, serial.multiply_transpose(y),
+                    "pooled A'*y post-scale");
+}
+
+TEST(SparseParallel, AlignedRowPartitionSnapsToBlockStarts) {
+  // 6 blocks of 10 rows, block b has b+1 nonzeros per row so the balanced
+  // boundaries would land mid-block without alignment.
+  std::vector<Triplet> t;
+  const std::size_t block_rows = 10;
+  const std::size_t blocks = 6;
+  std::vector<std::size_t> starts;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    starts.push_back(b * block_rows);
+    for (std::size_t r = 0; r < block_rows; ++r) {
+      for (std::size_t c = 0; c <= b; ++c) {
+        t.push_back({b * block_rows + r, c, 1.0 + static_cast<double>(c)});
+      }
+    }
+  }
+  const SparseMatrix a(blocks * block_rows, blocks, t);
+  const PartitionBounds bounds = a.balanced_row_partition(3, starts);
+  check_partition(bounds, 3, blocks * block_rows);
+  for (std::size_t p = 1; p + 1 < bounds.size(); ++p) {
+    EXPECT_EQ(bounds[p] % block_rows, 0u)
+        << "boundary " << p << " = " << bounds[p] << " not on a block start";
+  }
+  // Alignment must not cost correctness: partitioned multiply still matches.
+  Rng rng(41);
+  const Vec x = random_vec(rng, blocks);
+  ThreadPool pool(3);
+  Vec out;
+  a.multiply(x, out, &pool, bounds);
+  expect_bits_equal(out, a.multiply(x), "aligned A*x");
+}
+
+TEST(SparseParallel, DegeneratePartitions) {
+  // More parts than rows/cols, empty matrix, single row: partitions stay
+  // well-formed and the kernels stay bit-identical.
+  Rng rng(43);
+  const SparseMatrix tiny(1, 3, {{0, 0, 2.0}, {0, 2, -1.0}});
+  const PartitionBounds rb = tiny.balanced_row_partition(4);
+  const PartitionBounds cb = tiny.balanced_col_partition(4);
+  check_partition(rb, 4, 1);
+  check_partition(cb, 4, 3);
+  ThreadPool pool(2);
+  const Vec x = random_vec(rng, 3);
+  Vec out;
+  tiny.multiply(x, out, &pool, rb);
+  expect_bits_equal(out, tiny.multiply(x), "tiny A*x");
+
+  const SparseMatrix empty(5, 4, {});
+  const Vec zx = random_vec(rng, 4);
+  Vec eout;
+  empty.multiply(zx, eout, &pool, empty.balanced_row_partition(3));
+  expect_bits_equal(eout, Vec(5, 0.0), "empty A*x");
+}
+
+}  // namespace
+}  // namespace eca::linalg

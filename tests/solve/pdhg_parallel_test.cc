@@ -1,0 +1,81 @@
+// Bit-identity contract of the parallel PDHG solver: for every LP thread
+// count the solve must produce bitwise-identical iterates, iteration
+// counts, solutions and duals — the row/column partitions never split an
+// output element and all cross-element reductions stay on the driving
+// thread. Runs with lp_oversubscribe (lifting the hardware-concurrency
+// cap) and a min_nnz_per_thread of 1 so the pool genuinely engages even on
+// 1-CPU CI machines; labelled tsan-smoke so a -DECA_SANITIZE=thread build
+// exercises the same interleavings under TSan.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp_test_util.h"
+#include "solve/pdhg_lp.h"
+
+namespace eca::solve {
+namespace {
+
+LpSolution solve_with_threads(const LpProblem& lp, int threads) {
+  PdhgOptions options;
+  options.tolerance = 1e-5;
+  options.max_iterations = 20000;
+  options.lp_threads = threads;
+  options.lp_oversubscribe = true;
+  options.min_nnz_per_thread = 1;
+  return PdhgLp(options).solve(lp);
+}
+
+void expect_solutions_bit_identical(const LpSolution& a, const LpSolution& b,
+                                    int threads) {
+  EXPECT_EQ(a.status, b.status) << threads << " threads";
+  EXPECT_EQ(a.iterations, b.iterations) << threads << " threads";
+  EXPECT_EQ(a.objective_value, b.objective_value) << threads << " threads";
+  EXPECT_EQ(a.primal_residual, b.primal_residual) << threads << " threads";
+  EXPECT_EQ(a.dual_residual, b.dual_residual) << threads << " threads";
+  EXPECT_EQ(a.gap, b.gap) << threads << " threads";
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t j = 0; j < a.x.size(); ++j) {
+    EXPECT_EQ(a.x[j], b.x[j]) << threads << " threads, x[" << j << "]";
+  }
+  ASSERT_EQ(a.row_duals.size(), b.row_duals.size());
+  for (std::size_t r = 0; r < a.row_duals.size(); ++r) {
+    EXPECT_EQ(a.row_duals[r], b.row_duals[r])
+        << threads << " threads, y[" << r << "]";
+  }
+}
+
+TEST(PdhgParallel, BitIdenticalAcrossThreadCounts) {
+  Rng rng(47);
+  for (int instance = 0; instance < 3; ++instance) {
+    const LpProblem lp = testing::make_random_box_lp(rng, 40, 25, 10);
+    const LpSolution serial = solve_with_threads(lp, 1);
+    EXPECT_EQ(serial.status, SolveStatus::kOptimal) << instance;
+    for (const int threads : {2, 5}) {
+      const LpSolution parallel = solve_with_threads(lp, threads);
+      expect_solutions_bit_identical(serial, parallel, threads);
+    }
+  }
+}
+
+TEST(PdhgParallel, BitIdenticalWithEqualityRowsAndBlockHints) {
+  // Equality rows exercise the eq_mask branch of the dual kernel; the block
+  // hint exercises the aligned row partition (two structural "slots").
+  Rng rng(53);
+  LpProblem lp = testing::make_random_box_lp(rng, 30, 20, 8);
+  const std::size_t eq = lp.add_row_eq(1.0);
+  lp.set_coefficient(eq, 0, 1.0);
+  lp.set_coefficient(eq, 1, 1.0);
+  lp.row_block_starts = {0, lp.num_rows / 2};
+  ASSERT_TRUE(lp.validate().empty());
+  const LpSolution serial = solve_with_threads(lp, 1);
+  for (const int threads : {2, 5}) {
+    expect_solutions_bit_identical(serial, solve_with_threads(lp, threads),
+                                   threads);
+  }
+}
+
+}  // namespace
+}  // namespace eca::solve
