@@ -76,6 +76,7 @@ inline BenchScale read_scale() {
   validate_thread_knob("ECA_THREADS");
   validate_thread_knob("ECA_SLOT_THREADS");
   validate_thread_knob("ECA_LP_THREADS");
+  validate_thread_knob("ECA_BASELINE_THREADS");
   // Same integer->=-1 contract as the thread knobs; failing here surfaces a
   // typo at startup instead of mid-sweep inside the solver.
   validate_thread_knob("ECA_SLOT_MIN_CHUNK");

@@ -24,7 +24,7 @@ if [[ "${ECA_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DECA_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
     --target test_runner_determinism test_slot_parallel test_obs_parallel \
-             test_pdhg_parallel
+             test_pdhg_parallel test_baseline_parallel
   echo "== tsan-smoke: ctest -L tsan-smoke =="
   ctest --test-dir build-tsan -L tsan-smoke --output-on-failure
 else
@@ -59,8 +59,18 @@ ECA_OFFLINE_MAX_USERS=32 ECA_OFFLINE_SLOTS=8 ECA_OFFLINE_MAX_ITERS=2000 \
   ECA_BENCH_OFFLINE_JSON=build/BENCH_offline.quick.json \
   ./build/bench/bench_offline
 
-echo "== perf guard: active-set + adaptive-granularity + LP-thread gates =="
+echo "== bench: baseline-evaluation sweep (quick mode) =="
+# Small points only: exercises the three-leg emitter (rebuild+cold vs
+# skeleton+warm vs slot fan-out) and the bitwise cross-check end to end
+# (the committed BENCH file is regenerated separately at full scale).
+# ECA_METRICS=on records per-leg ipm.iterations deltas so perf_guard's
+# deterministic warm-iteration gate exercises even on noisy hosts.
+ECA_METRICS=on ECA_BASELINE_MAX_USERS=32 ECA_BASELINE_SLOTS=8 \
+  ECA_BENCH_BASELINES_JSON=build/BENCH_baselines.quick.json \
+  ./build/bench/bench_baselines
+
+echo "== perf guard: active-set + adaptive-granularity + LP-thread + baseline gates =="
 python3 scripts/perf_guard.py build/BENCH_solvers.quick.json \
-  build/BENCH_offline.quick.json
+  build/BENCH_offline.quick.json build/BENCH_baselines.quick.json
 
 echo "== check.sh: all gates passed =="

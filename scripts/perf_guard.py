@@ -30,6 +30,28 @@ eca.bench_offline.v1 (parallel PDHG horizon-LP sweep):
     a note instead; bit-identity is still enforced via the oversubscribed
     determinism tests.
 
+eca.bench_baselines.v1 (baseline-evaluation sweep):
+
+  * any bit_identical=false — the slot fan-out must reproduce the serial
+    trajectory bit for bit for every separable baseline;
+  * any pool-engaged point with fan-out speedup below 0.95 (work-volume
+    floor contract, same as above; on 1-CPU hosts no point engages and a
+    note is printed);
+  * wherever the algorithm's default path chains warm starts
+    (warm_enabled=true) and the bench ran with ECA_METRICS=on
+    (iters_rebuild_cold > 0), the warm leg must not cost IPM iterations:
+    warm_iter_ratio <= 1.02. Iteration counts are deterministic, so this
+    gate is immune to the +/-10% wall-clock noise of shared CI hosts —
+    warm_max_users exists precisely because hints that stop paying in
+    iterations must disengage (without metrics a note is printed);
+  * at J >= 1024, the default path must stay within 10% of wall parity
+    with rebuild+cold (warm_speedup >= 0.9) — caching must never be a
+    slowdown at the scale it exists for;
+  * cost_drift above 0.05 — warm starts move the solver trajectory, and
+    degenerate objectives (perf-opt/oper-opt) may land on a different
+    optimal vertex, but the evaluated cost must stay in the same ballpark;
+  * max_violation above 1e-5 — the optimized path must stay feasible.
+
 Exits 0 with a summary line per file when every check passes.
 """
 import json
@@ -101,9 +123,70 @@ def check_offline(path, bench):
           f"({len(engaged)} pool-engaged)")
 
 
+MAX_COST_DRIFT = 0.05
+MAX_VIOLATION = 1e-5
+MIN_SKELETON_SPEEDUP = 0.9
+MAX_WARM_ITER_RATIO = 1.02
+
+
+def check_baselines(path, bench):
+    points = bench.get("points", [])
+    if not points:
+        fail(f"{path}: no sweep points")
+    engaged = warm_gated = scale_gated = 0
+    for point in points:
+        where = f"{path}: {point['algorithm']} J={point['users']}"
+        if not point["bit_identical"]:
+            fail(f"{where}: bit_identical=false — the slot fan-out changed "
+                 "the trajectory")
+        if point["pool_engaged"]:
+            engaged += 1
+            if point["speedup"] < MIN_POOL_SPEEDUP:
+                fail(f"{where}: fan-out speedup {point['speedup']:.3f} < "
+                     f"{MIN_POOL_SPEEDUP} with the pool engaged; the "
+                     "work-volume floor should have kept this point serial")
+        if point["cost_drift"] > MAX_COST_DRIFT:
+            fail(f"{where}: cost_drift {point['cost_drift']:.3e} > "
+                 f"{MAX_COST_DRIFT} — skeleton+warm landed far from the "
+                 "legacy path's cost")
+        if point["max_violation"] > MAX_VIOLATION:
+            fail(f"{where}: max_violation {point['max_violation']:.3e} > "
+                 f"{MAX_VIOLATION} — the optimized path left feasibility")
+        if point["warm_enabled"] and point.get("iters_rebuild_cold", 0) > 0:
+            warm_gated += 1
+            if point["warm_iter_ratio"] > MAX_WARM_ITER_RATIO:
+                fail(f"{where}: warm_iter_ratio "
+                     f"{point['warm_iter_ratio']:.4f} > "
+                     f"{MAX_WARM_ITER_RATIO} — warm hints cost IPM "
+                     "iterations here; lower warm_max_users so the chain "
+                     "disengages at this scale")
+        if point["users"] >= ACTIVE_GATE_USERS:
+            scale_gated += 1
+            if point["warm_speedup"] < MIN_SKELETON_SPEEDUP:
+                fail(f"{where}: default-path speedup "
+                     f"{point['warm_speedup']:.3f} < {MIN_SKELETON_SPEEDUP} "
+                     "over rebuild+cold — caching must not be a slowdown "
+                     "at scale")
+    if warm_gated == 0:
+        print(f"perf_guard: note: {path}: no warm-enabled point with "
+              "iteration data (run with ECA_METRICS=on); warm-iteration "
+              "gate not exercised")
+    if scale_gated == 0:
+        print(f"perf_guard: note: {path}: no point with J >= "
+              f"{ACTIVE_GATE_USERS}; at-scale parity gate not exercised")
+    if engaged == 0:
+        print(f"perf_guard: note: {path}: no point engaged the pool "
+              "(hardware-concurrency cap); fan-out speedup gate not "
+              "exercised")
+    print(f"perf_guard: OK: {path}: {len(points)} baseline points "
+          f"({engaged} pool-engaged, {warm_gated} under the warm-iteration "
+          f"gate, {scale_gated} under the at-scale parity gate)")
+
+
 CHECKS = {
     "eca.bench_solvers.v3": check_solvers,
     "eca.bench_offline.v1": check_offline,
+    "eca.bench_baselines.v1": check_baselines,
 }
 
 

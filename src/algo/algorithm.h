@@ -20,6 +20,15 @@ using model::Allocation;
 using model::AllocationSequence;
 using model::Instance;
 
+// Warm-start block length for slot-separable baselines. Slots are grouped
+// into blocks of this many consecutive slots; within a block each solve
+// warm-starts from the previous slot's solution, and every block head
+// (t % kBaselineWarmBlock == 0, plus t = 1 after the cold slot 0) restarts
+// from the slot-0 anchor solution. The chain therefore never crosses a
+// block boundary, so a parallel simulator that hands whole blocks to
+// workers reproduces the serial trajectory bit for bit.
+inline constexpr std::size_t kBaselineWarmBlock = 4;
+
 class OnlineAlgorithm {
  public:
   virtual ~OnlineAlgorithm() = default;
@@ -41,6 +50,23 @@ class OnlineAlgorithm {
   // valid until the next decide()/reset(); nullptr for closed-form
   // baselines. The simulator folds this into the run's telemetry.
   [[nodiscard]] virtual const obs::SolveTelemetry* last_decide_telemetry()
+      const {
+    return nullptr;
+  }
+
+  // True when decide(instance, t, previous) ignores `previous` and depends
+  // only on (instance, t) — i.e. the slots are independent subproblems and
+  // the simulator may evaluate them in parallel. Algorithms whose decision
+  // chains through the previous slot (online-greedy, online-approx) must
+  // return false.
+  [[nodiscard]] virtual bool slot_separable() const { return false; }
+
+  // For slot-separable algorithms: a worker-private copy carrying the
+  // post-reset() state (skeletons, anchors, configuration) but none of the
+  // mutable per-slot trajectory, so several clones can decide disjoint slot
+  // blocks concurrently. Returns nullptr when cloning is unsupported, in
+  // which case the simulator falls back to the serial loop.
+  [[nodiscard]] virtual std::unique_ptr<OnlineAlgorithm> clone_for_slots()
       const {
     return nullptr;
   }

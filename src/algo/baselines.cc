@@ -1,34 +1,164 @@
 #include "algo/baselines.h"
 
+#include <utility>
+
 #include "algo/slot_lp.h"
 #include "common/check.h"
+#include "common/log.h"
+#include "obs/metrics.h"
 
 namespace eca::algo {
 namespace {
 
+// Integer-only counters (exact totals for any thread assignment, so the
+// parallel baseline path stays metrics-deterministic).
+struct BaselineMetrics {
+  obs::Counter& lp_solves;
+  obs::Counter& lp_failures;
+  obs::Counter& warm_chained;
+  obs::Counter& anchor_restarts;
+
+  static BaselineMetrics& get() {
+    static BaselineMetrics m{
+        obs::MetricsRegistry::global().counter("baseline.lp_solves"),
+        obs::MetricsRegistry::global().counter("baseline.lp_failures"),
+        obs::MetricsRegistry::global().counter("baseline.warm_chained"),
+        obs::MetricsRegistry::global().counter("baseline.anchor_restarts"),
+    };
+    return m;
+  }
+};
+
+// Post-solve contract shared by every baseline LP: on failure, route the
+// full context (algorithm, slot, solver status, iteration count, warm-start
+// flags) through eca::log and the baseline.lp_failures counter before the
+// hard abort — a crash in a long sweep must say which algorithm and slot
+// died and how the solve got there.
+void check_lp_solved(const solve::LpSolution& sol, const char* who,
+                     std::size_t t) {
+  if (obs::metrics_enabled()) BaselineMetrics::get().lp_solves.add(1);
+  if (sol.status == solve::SolveStatus::kOptimal) [[likely]] return;
+  if (obs::metrics_enabled()) BaselineMetrics::get().lp_failures.add(1);
+  ECA_LOG_ERROR(
+      "%s: LP solve failed at slot %zu: status=%s iterations=%d "
+      "warm_started=%d warm_fallback=%d",
+      who, t, solve::to_string(sol.status), sol.iterations,
+      static_cast<int>(sol.warm_started), static_cast<int>(sol.warm_fallback));
+  ECA_CHECK(sol.status == solve::SolveStatus::kOptimal, who,
+            " LP failed at slot ", t, ": ", solve::to_string(sol.status));
+}
+
 solve::LpSolution solve_or_die(const solve::LpProblem& lp, const char* who,
                                std::size_t t) {
   const solve::LpSolution sol = solve::InteriorPointLp().solve(lp);
-  ECA_CHECK(sol.status == solve::SolveStatus::kOptimal, who,
-            " LP failed at slot ", t, ": ", solve::to_string(sol.status));
+  check_lp_solved(sol, who, t);
   return sol;
 }
 
 }  // namespace
 
+void AtomisticAlgorithm::reset(const Instance& instance) {
+  last_t_ = -1;
+  has_anchor_ = false;
+  if (options_.reuse_skeleton) {
+    skeleton_.emplace(instance, include_operation_, include_service_quality_);
+  } else {
+    skeleton_.reset();
+  }
+}
+
 Allocation AtomisticAlgorithm::decide(const Instance& instance, std::size_t t,
                                       const Allocation& /*previous*/) {
-  const StaticSlotLp built = build_static_slot_lp(
-      instance, t, include_operation_, include_service_quality_);
-  const solve::LpSolution sol = solve_or_die(built.lp, name().c_str(), t);
-  return extract_static(instance, sol.x);
+  if (!options_.reuse_skeleton) {
+    // Legacy path: from-scratch build, cold solve. The baseline bench uses
+    // this as its rebuild+cold reference leg.
+    const StaticSlotLp built = build_static_slot_lp(
+        instance, t, include_operation_, include_service_quality_);
+    const solve::LpSolution sol = solve_or_die(built.lp, name_.c_str(), t);
+    return extract_static(instance, sol.x);
+  }
+  // Tolerate direct decide() without a prior reset() (the historical
+  // contract); a stale skeleton from another instance is caught by the
+  // refresh shape check.
+  if (!skeleton_) {
+    skeleton_.emplace(instance, include_operation_, include_service_quality_);
+  }
+  const StaticSlotLp& built = skeleton_->refresh(instance, t);
+  solve::IpmWarmStart warm;
+  if (options_.warm_start && has_anchor_ &&
+      instance.num_users <= options_.warm_max_users) {
+    // Block-chained warm source: chain from the previous slot inside a
+    // block, restart from the slot-0 anchor at block heads. The chain
+    // never crosses a block boundary, so parallel block-wise evaluation
+    // reproduces the serial trajectory bit for bit.
+    const bool chain = last_t_ >= 0 &&
+                       t == static_cast<std::size_t>(last_t_) + 1 &&
+                       (t % kBaselineWarmBlock) != 0;
+    const solve::LpSolution& src = chain ? last_ : anchor_;
+    warm.x = &src.x;
+    warm.row_duals = &src.row_duals;
+    if (obs::metrics_enabled()) {
+      auto& m = BaselineMetrics::get();
+      (chain ? m.warm_chained : m.anchor_restarts).add(1);
+    }
+  }
+  solve::InteriorPointLp().solve_into(built.lp, workspace_, warm, scratch_);
+  check_lp_solved(scratch_, name_.c_str(), t);
+  if (t == 0 && !has_anchor_) {
+    anchor_ = scratch_;
+    has_anchor_ = true;
+  }
+  std::swap(last_, scratch_);
+  last_t_ = static_cast<std::ptrdiff_t>(t);
+  return extract_static(instance, last_.x);
+}
+
+AlgorithmPtr AtomisticAlgorithm::clone_for_slots() const {
+  auto clone = std::make_unique<AtomisticAlgorithm>(
+      name_, include_operation_, include_service_quality_, options_);
+  // Carry the post-reset() state the worker needs (skeleton, anchor) but a
+  // fresh workspace and no chain position: the clone's first slot of every
+  // block warm-starts from the anchor exactly as the serial loop does.
+  clone->skeleton_ = skeleton_;
+  clone->anchor_ = anchor_;
+  clone->has_anchor_ = has_anchor_;
+  return clone;
+}
+
+void OnlineGreedy::reset(const Instance& instance) {
+  last_t_ = -1;
+  if (options_.reuse_skeleton) {
+    skeleton_.emplace(instance);
+  } else {
+    skeleton_.reset();
+  }
 }
 
 Allocation OnlineGreedy::decide(const Instance& instance, std::size_t t,
                                 const Allocation& previous) {
-  const GreedySlotLp built = build_greedy_slot_lp(instance, t, previous);
-  const solve::LpSolution sol = solve_or_die(built.lp, "online-greedy", t);
-  return built.extract(instance, sol.x);
+  if (!options_.reuse_skeleton) {
+    const GreedySlotLp built = build_greedy_slot_lp(instance, t, previous);
+    const solve::LpSolution sol = solve_or_die(built.lp, "online-greedy", t);
+    return built.extract(instance, sol.x);
+  }
+  if (!skeleton_) skeleton_.emplace(instance);
+  const GreedySlotLp& built = skeleton_->refresh(instance, t, previous);
+  solve::IpmWarmStart warm;
+  // The greedy chain is inherently sequential (decide() consumes the
+  // previous decision), so the warm source is simply the previous slot's
+  // solution — no block structure needed.
+  if (options_.warm_start && last_t_ >= 0 &&
+      instance.num_users <= options_.warm_max_users &&
+      t == static_cast<std::size_t>(last_t_) + 1) {
+    warm.x = &last_.x;
+    warm.row_duals = &last_.row_duals;
+    if (obs::metrics_enabled()) BaselineMetrics::get().warm_chained.add(1);
+  }
+  solve::InteriorPointLp().solve_into(built.lp, workspace_, warm, scratch_);
+  check_lp_solved(scratch_, "online-greedy", t);
+  std::swap(last_, scratch_);
+  last_t_ = static_cast<std::ptrdiff_t>(t);
+  return built.extract(instance, last_.x);
 }
 
 void StaticOnce::reset(const Instance& instance) {
@@ -39,9 +169,16 @@ void StaticOnce::reset(const Instance& instance) {
 
 Allocation StaticOnce::decide(const Instance& instance, std::size_t /*t*/,
                               const Allocation& /*previous*/) {
-  ECA_CHECK(fixed_.num_clouds == instance.num_clouds,
-            "StaticOnce::reset was not called");
+  ECA_CHECK(fixed_.num_clouds == instance.num_clouds &&
+                fixed_.num_users == instance.num_users,
+            "StaticOnce::reset was not called for this instance");
   return fixed_;
+}
+
+AlgorithmPtr StaticOnce::clone_for_slots() const {
+  auto clone = std::make_unique<StaticOnce>();
+  clone->fixed_ = fixed_;
+  return clone;
 }
 
 }  // namespace eca::algo

@@ -1,6 +1,7 @@
 #include "algo/slot_lp.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace eca::algo {
 
@@ -117,6 +118,84 @@ GreedySlotLp build_greedy_slot_lp(const Instance& instance, std::size_t t,
     }
   }
   return out;
+}
+
+StaticSlotLpSkeleton::StaticSlotLpSkeleton(const Instance& instance,
+                                           bool include_operation,
+                                           bool include_service_quality)
+    : built_(build_static_slot_lp(instance, 0, include_operation,
+                                  include_service_quality)),
+      include_operation_(include_operation),
+      include_service_quality_(include_service_quality) {}
+
+const StaticSlotLp& StaticSlotLpSkeleton::refresh(const Instance& instance,
+                                                  std::size_t t) {
+  ECA_TRACE_SPAN("slot_lp_refresh");
+  ECA_CHECK(t < instance.num_slots);
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  solve::LpProblem& lp = built_.lp;
+  ECA_CHECK(lp.num_vars == kI * kJ, "static skeleton shape mismatch");
+  const double ws = instance.weights.static_weight;
+  // Same accumulation order as build_static_slot_lp — the refreshed
+  // objective must be bitwise equal to a from-scratch build.
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      double cost = 0.0;
+      if (include_operation_) cost += instance.operation_price[t][i];
+      if (include_service_quality_) {
+        cost += instance.service_coefficient(t, i, j);
+      }
+      lp.objective[i * kJ + j] = ws * cost;
+    }
+  }
+  return built_;
+}
+
+GreedySlotLpSkeleton::GreedySlotLpSkeleton(const Instance& instance)
+    : built_(build_greedy_slot_lp(
+          instance, 0, Allocation(instance.num_clouds, instance.num_users))) {}
+
+const GreedySlotLp& GreedySlotLpSkeleton::refresh(const Instance& instance,
+                                                  std::size_t t,
+                                                  const Allocation& previous) {
+  ECA_TRACE_SPAN("slot_lp_refresh");
+  ECA_CHECK(t < instance.num_slots);
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  solve::LpProblem& lp = built_.lp;
+  ECA_CHECK(lp.num_vars == 2 * kI * kJ + kI, "greedy skeleton shape mismatch");
+  const double ws = instance.weights.static_weight;
+  const double wd = instance.weights.dynamic_weight;
+  // s costs / upper bounds and w costs, with the exact expressions (and the
+  // dust rule) of build_greedy_slot_lp. The u costs and all matrix elements
+  // are slot-invariant and left untouched.
+  for (std::size_t i = 0; i < kI; ++i) {
+    const auto& cloud = instance.clouds[i];
+    for (std::size_t j = 0; j < kJ; ++j) {
+      const double static_cost =
+          ws * (instance.operation_price[t][i] +
+                instance.service_coefficient(t, i, j));
+      double prev = previous.x.empty() ? 0.0 : previous.at(i, j);
+      if (prev < 1e-9) prev = 0.0;
+      const std::size_t s_idx = built_.s_offset + i * kJ + j;
+      lp.objective[s_idx] = static_cost - wd * cloud.migration_out_price;
+      lp.var_upper[s_idx] = prev;
+      lp.objective[built_.w_offset + i * kJ + j] =
+          static_cost + wd * cloud.migration_in_price;
+    }
+  }
+  // u-row lower bounds -X_i_prev; rows are [demand | capacity | u] so the
+  // u-row for cloud i sits at kJ + kI + i. The per-cloud sum replicates
+  // Allocation::cloud_totals' j-ascending order bit for bit.
+  for (std::size_t i = 0; i < kI; ++i) {
+    double total = 0.0;
+    if (!previous.x.empty()) {
+      for (std::size_t j = 0; j < kJ; ++j) total += previous.at(i, j);
+    }
+    lp.row_lower[kJ + kI + i] = -total;
+  }
+  return built_;
 }
 
 Allocation GreedySlotLp::extract(const Instance& instance,

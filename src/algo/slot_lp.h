@@ -46,4 +46,44 @@ GreedySlotLp build_greedy_slot_lp(const Instance& instance, std::size_t t,
 Allocation extract_static(const Instance& instance,
                           const solve::Vec& solution);
 
+// --- Cached skeletons --------------------------------------------------------
+//
+// For fixed (I, J) the per-slot LPs share everything except a handful of
+// slot-dependent entries: the sparsity pattern, the row set and the demand /
+// capacity bounds never change across slots. The skeletons below build the
+// LpProblem once and expose a cheap refresh() that rewrites only the
+// slot-dependent entries in place, with arithmetic identical to the
+// from-scratch builders — a refreshed skeleton is bitwise equal to
+// build_*_slot_lp() for the same (t, previous) (pinned by
+// tests/algo/slot_lp_test.cc). refresh() performs no heap allocation, so the
+// steady-state slot loop stays allocation-free end to end.
+
+// Static LP skeleton: only the objective coefficients depend on t.
+class StaticSlotLpSkeleton {
+ public:
+  StaticSlotLpSkeleton(const Instance& instance, bool include_operation,
+                       bool include_service_quality);
+  // Rewrites the objective for slot t; returns the refreshed LP.
+  const StaticSlotLp& refresh(const Instance& instance, std::size_t t);
+
+ private:
+  StaticSlotLp built_;
+  bool include_operation_;
+  bool include_service_quality_;
+};
+
+// Greedy LP skeleton: the objective (s / w costs), the s upper bounds and
+// the u-row lower bounds depend on (t, previous); everything else is fixed.
+class GreedySlotLpSkeleton {
+ public:
+  explicit GreedySlotLpSkeleton(const Instance& instance);
+  // Rewrites the slot- and previous-dependent entries; returns the
+  // refreshed LP (offsets and extract() as in build_greedy_slot_lp).
+  const GreedySlotLp& refresh(const Instance& instance, std::size_t t,
+                              const Allocation& previous);
+
+ private:
+  GreedySlotLp built_;
+};
+
 }  // namespace eca::algo

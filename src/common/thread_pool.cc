@@ -130,6 +130,31 @@ std::size_t ThreadPool::resolve_lp_threads(int requested, std::size_t work,
                      cap_to_hardware);
 }
 
+std::size_t ThreadPool::resolve_baseline_threads(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const char* raw = std::getenv("ECA_BASELINE_THREADS");
+  if (raw == nullptr || raw[0] == '\0') return 1;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || value <= 0) {
+    std::fprintf(stderr,
+                 "ECA_BASELINE_THREADS='%s' is invalid: expected a positive "
+                 "integer (baseline slot-evaluation worker count)\n",
+                 raw);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::size_t ThreadPool::resolve_baseline_threads(int requested,
+                                                 std::size_t work,
+                                                 std::size_t min_work,
+                                                 bool cap_to_hardware) {
+  return cap_by_work(resolve_baseline_threads(requested), work, min_work,
+                     cap_to_hardware);
+}
+
 std::size_t ThreadPool::slot_min_chunk() {
   const char* raw = std::getenv("ECA_SLOT_MIN_CHUNK");
   if (raw == nullptr || raw[0] == '\0') return kDefaultSlotMinChunk;

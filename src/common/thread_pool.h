@@ -83,6 +83,27 @@ class ThreadPool {
                                           std::size_t min_work,
                                           bool cap_to_hardware = true);
 
+  // Baseline-evaluation (simulator slot fan-out) thread policy: `requested`
+  // if positive, else ECA_BASELINE_THREADS, else 1. Serial by default for
+  // the same reason as the slot/LP policies: the experiment runner already
+  // parallelizes across repetitions, so slot-level fan-out is opt-in for
+  // single-trajectory runs and benchmarks. Unlike the other knobs,
+  // ECA_BASELINE_THREADS is fail-fast: a set but invalid value
+  // (non-numeric, zero, negative) exits with status 2 — a typo must not
+  // silently fall back to a serial sweep that looks like a slow machine.
+  static std::size_t resolve_baseline_threads(int requested = 0);
+
+  // Work-aware overload mirroring the slot/LP policies: capped so every
+  // dispatched worker covers at least `min_work` units of `work` (the
+  // simulator passes slot-LP cells, num_slots × num_clouds × num_users)
+  // and, unless `cap_to_hardware` is false, by hardware_concurrency.
+  static std::size_t resolve_baseline_threads(int requested, std::size_t work,
+                                              std::size_t min_work,
+                                              bool cap_to_hardware = true);
+
+  // Default work floor for the baseline policy, in slot-LP cells.
+  static constexpr std::size_t kDefaultBaselineMinWork = 4096;
+
   // Minimum users-worth of work per dispatched intra-slot task, from
   // ECA_SLOT_MIN_CHUNK (default kDefaultSlotMinChunk). Fail-fast: a set but
   // invalid value (non-numeric, zero, negative) exits with status 2 — a

@@ -58,6 +58,15 @@ class DenseMatrix {
 
   void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
+  // Reshapes to rows x cols and zero-fills. Retains the underlying storage
+  // capacity, so repeated same-size (or shrinking) reshapes never allocate —
+  // the workspace-reuse contract of the solver hot paths.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -71,6 +80,11 @@ class Cholesky {
   bool factor(const DenseMatrix& a);
   // Solves A x = b using the stored factor.
   [[nodiscard]] Vec solve(const Vec& b) const;
+  // Solves A x = b in place, overwriting `bx` with x. Forward and back
+  // substitution both consume each entry exactly once before overwriting
+  // it, so a single buffer suffices and repeated solves never allocate.
+  // Produces bitwise the same result as solve().
+  void solve_in_place(Vec& bx) const;
   [[nodiscard]] bool ok() const { return ok_; }
 
  private:

@@ -33,11 +33,32 @@ struct SimulationResult {
   obs::RunTelemetry telemetry;
 };
 
+// Knobs for the baseline slot fan-out. Only slot-separable algorithms
+// (OnlineAlgorithm::slot_separable()) are ever parallelized; all others
+// take the serial loop regardless of these settings. The parallel path is
+// bit-identical to the serial one for every worker count: slot 0 is decided
+// cold on the driving thread, whole kBaselineWarmBlock-aligned slot blocks
+// are handed to per-worker clone_for_slots() copies, and results land in
+// index-addressed buffers merged in slot order.
+struct SimulatorOptions {
+  // Worker count for slot-separable algorithms: positive value wins, else
+  // ECA_BASELINE_THREADS (fail-fast on invalid values), else 1 (serial).
+  int baseline_threads = 0;
+  // Work floor per dispatched worker in slot-LP cells
+  // (num_slots x num_clouds x num_users); 0 uses
+  // ThreadPool::kDefaultBaselineMinWork. Keeps tiny instances off the pool.
+  std::size_t min_slot_work = 0;
+  // Lift the hardware-concurrency cap (determinism tests oversubscribe to
+  // stress worker interleaving on any machine).
+  bool oversubscribe = false;
+};
+
 class Simulator {
  public:
   // Runs `algorithm` online over the instance.
-  [[nodiscard]] static SimulationResult run(const Instance& instance,
-                                            algo::OnlineAlgorithm& algorithm);
+  [[nodiscard]] static SimulationResult run(
+      const Instance& instance, algo::OnlineAlgorithm& algorithm,
+      const SimulatorOptions& options = {});
 
   // Scores a precomputed allocation sequence (e.g. the offline optimum).
   [[nodiscard]] static SimulationResult score(const Instance& instance,

@@ -7,24 +7,61 @@
 
 #include "common/check.h"
 #include "linalg/dense_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eca::solve {
-namespace {
 
 using linalg::Cholesky;
 using linalg::DenseMatrix;
 
+namespace {
+
 constexpr double kFixedTol = 1e-12;
 
-// Internal standard form: min c'x, Ax = b, 0 <= x, x_i <= u_i (i in U).
-struct StandardForm {
-  std::size_t n = 0;  // internal variable count (shifted structurals + slacks)
-  std::size_t m = 0;  // internal row count
+// Cached handles into the global metrics registry (same contract as the
+// Newton solver's SolverMetrics: acquisition locks once, updates are sharded
+// relaxed atomics and never allocate, so the IPM hot path stays
+// allocation-free with metrics enabled). Only integer counters are recorded
+// here — their fixed-shard-order merge is exact for any assignment of solves
+// to threads, keeping metric totals bit-identical across thread counts.
+struct IpmMetrics {
+  obs::Counter& solves;
+  obs::Counter& iterations;
+  obs::Counter& warm_accepted;
+  obs::Counter& warm_fallbacks;
+  obs::Counter& warm_retries;
+
+  static IpmMetrics& get() {
+    static IpmMetrics m{
+        obs::MetricsRegistry::global().counter("ipm.solves"),
+        obs::MetricsRegistry::global().counter("ipm.iterations"),
+        obs::MetricsRegistry::global().counter("ipm.warm_accepted"),
+        obs::MetricsRegistry::global().counter("ipm.warm_fallbacks"),
+        obs::MetricsRegistry::global().counter("ipm.warm_retries")};
+    return m;
+  }
+};
+
+}  // namespace
+
+// All solver state: the internal standard form, the iterate and scratch
+// vectors, the normal matrix and its Cholesky factor. Everything is sized
+// with assign()/clear() so buffers keep their capacity across solves — after
+// the first solve of a given shape, subsequent solves do not allocate.
+struct IpmWorkspace::Impl {
+  // --- standard form: min c'x, Ax = b, 0 <= x, x_i <= u_i (i in U) ---------
+  std::size_t n = 0;         // internal variable count (structurals + slacks)
+  std::size_t m = 0;         // internal row count
+  std::size_t n_struct = 0;  // columns [0, n_struct) are shifted structurals;
+                             // [n_struct, n) are slacks (one entry each)
   Vec c;
   Vec b;
   Vec upper;  // +inf when unbounded above
-  // Column-wise sparse A.
+  // Column-wise sparse A. The outer vector only ever grows; inner vectors
+  // are cleared (capacity retained) and the first `n` reused per build.
   std::vector<std::vector<std::pair<std::size_t, double>>> columns;
+  std::size_t columns_in_use = 0;
   double objective_constant = 0.0;
 
   // Mapping back to the original problem.
@@ -33,14 +70,55 @@ struct StandardForm {
   Vec lower_shift;                      // orig var -> lower bound
   std::vector<std::ptrdiff_t> row_map;  // orig row -> internal row (-1: none)
   bool infeasible_constant_row = false;
+
+  // --- build scratch -------------------------------------------------------
+  Vec shift;
+  std::vector<char> has_free;
+
+  // --- iterate state and per-iteration scratch -----------------------------
+  std::vector<std::size_t> upper_set;
+  Vec x, z, y, w, v;
+  Vec ax, aty, rb, rc, ru;
+  Vec theta, g, rhs;
+  Vec dx, dy, dz, dw, dv;
+  Vec dx_aff, dz_aff, dw_aff, dv_aff;
+  Vec rxz, rwv;
+  Vec tg, atg, atdy;
+  DenseMatrix normal;
+  Cholesky chol;
+
+  // --- warm-start candidate scratch ----------------------------------------
+  Vec wx, wy, wz, ww, wv, w_aty;
 };
 
-StandardForm build_standard_form(const LpProblem& lp) {
-  StandardForm sf;
+IpmWorkspace::IpmWorkspace() : impl_(std::make_unique<Impl>()) {}
+IpmWorkspace::~IpmWorkspace() = default;
+IpmWorkspace::IpmWorkspace(IpmWorkspace&&) noexcept = default;
+IpmWorkspace& IpmWorkspace::operator=(IpmWorkspace&&) noexcept = default;
+
+namespace {
+
+using Impl = IpmWorkspace::Impl;
+
+void build_standard_form(const LpProblem& lp, Impl& sf) {
+  sf.n = 0;
+  sf.m = 0;
+  sf.objective_constant = 0.0;
+  sf.infeasible_constant_row = false;
   sf.var_map.assign(lp.num_vars, -1);
   sf.fixed_value.assign(lp.num_vars, 0.0);
   sf.lower_shift.assign(lp.num_vars, 0.0);
   sf.row_map.assign(lp.num_rows, -1);
+  sf.c.clear();
+  sf.b.clear();
+  sf.upper.clear();
+  for (std::size_t j = 0; j < sf.columns_in_use; ++j) sf.columns[j].clear();
+  // Hands out cleared inner vectors in order, growing the outer vector only
+  // past the high-water mark of previous builds.
+  auto next_column = [&sf]() {
+    if (sf.n > sf.columns.size()) sf.columns.emplace_back();
+    ECA_DCHECK(sf.n <= sf.columns.size());
+  };
 
   for (std::size_t j = 0; j < lp.num_vars; ++j) {
     const double lb = lp.var_lower[j];
@@ -55,23 +133,24 @@ StandardForm build_standard_form(const LpProblem& lp) {
     sf.var_map[j] = static_cast<std::ptrdiff_t>(sf.n);
     sf.c.push_back(lp.objective[j]);
     sf.upper.push_back(ub - lb);
-    sf.columns.emplace_back();
     ++sf.n;
+    next_column();
     sf.objective_constant += lp.objective[j] * lb;
   }
+  sf.n_struct = sf.n;
   for (std::size_t j = 0; j < lp.num_vars; ++j) {
     if (sf.var_map[j] < 0) sf.objective_constant += lp.objective[j] * sf.fixed_value[j];
   }
 
   // Per-row constant shift from fixed variables and lower-bound shifts.
-  Vec shift(lp.num_rows, 0.0);
-  std::vector<bool> has_free(lp.num_rows, false);
+  sf.shift.assign(lp.num_rows, 0.0);
+  sf.has_free.assign(lp.num_rows, 0);
   for (const auto& t : lp.elements) {
     if (sf.var_map[t.col] >= 0) {
-      shift[t.row] += t.value * sf.lower_shift[t.col];
-      has_free[t.row] = true;
+      sf.shift[t.row] += t.value * sf.lower_shift[t.col];
+      sf.has_free[t.row] = 1;
     } else {
-      shift[t.row] += t.value * sf.fixed_value[t.col];
+      sf.shift[t.row] += t.value * sf.fixed_value[t.col];
     }
   }
 
@@ -79,9 +158,9 @@ StandardForm build_standard_form(const LpProblem& lp) {
     const double lo = lp.row_lower[r];
     const double hi = lp.row_upper[r];
     if (lo == -kInf && hi == kInf) continue;  // vacuous
-    const double lo_adj = lo == -kInf ? -kInf : lo - shift[r];
-    const double hi_adj = hi == kInf ? kInf : hi - shift[r];
-    if (!has_free[r]) {
+    const double lo_adj = lo == -kInf ? -kInf : lo - sf.shift[r];
+    const double hi_adj = hi == kInf ? kInf : hi - sf.shift[r];
+    if (!sf.has_free[r]) {
       // Constant row: either trivially satisfied or proves infeasibility.
       if (lo_adj > 1e-9 || hi_adj < -1e-9) sf.infeasible_constant_row = true;
       continue;
@@ -95,19 +174,20 @@ StandardForm build_standard_form(const LpProblem& lp) {
       sf.b.push_back(lo_adj);
       sf.c.push_back(0.0);
       sf.upper.push_back(hi == kInf ? kInf : hi_adj - lo_adj);
-      sf.columns.emplace_back();
-      sf.columns.back().push_back({row, -1.0});
       ++sf.n;
+      next_column();
+      sf.columns[sf.n - 1].push_back({row, -1.0});
     } else {
       // a'x + s = hi, s >= 0.
       sf.b.push_back(hi_adj);
       sf.c.push_back(0.0);
       sf.upper.push_back(kInf);
-      sf.columns.emplace_back();
-      sf.columns.back().push_back({row, 1.0});
       ++sf.n;
+      next_column();
+      sf.columns[sf.n - 1].push_back({row, 1.0});
     }
   }
+  sf.columns_in_use = sf.n;
 
   for (const auto& t : lp.elements) {
     const std::ptrdiff_t col = sf.var_map[t.col];
@@ -117,11 +197,10 @@ StandardForm build_standard_form(const LpProblem& lp) {
           {static_cast<std::size_t>(row), t.value});
     }
   }
-  return sf;
 }
 
 // y = A x (column-wise A).
-void col_multiply(const StandardForm& sf, const Vec& x, Vec& out) {
+void col_multiply(const Impl& sf, const Vec& x, Vec& out) {
   out.assign(sf.m, 0.0);
   for (std::size_t j = 0; j < sf.n; ++j) {
     const double xj = x[j];
@@ -131,7 +210,7 @@ void col_multiply(const StandardForm& sf, const Vec& x, Vec& out) {
 }
 
 // out = A^T y.
-void col_multiply_transpose(const StandardForm& sf, const Vec& y, Vec& out) {
+void col_multiply_transpose(const Impl& sf, const Vec& y, Vec& out) {
   out.assign(sf.n, 0.0);
   for (std::size_t j = 0; j < sf.n; ++j) {
     double acc = 0.0;
@@ -140,17 +219,179 @@ void col_multiply_transpose(const StandardForm& sf, const Vec& y, Vec& out) {
   }
 }
 
+// Builds a strictly interior candidate point from the caller's warm hint
+// into (sf.wx, sf.wy, sf.wz, sf.ww, sf.wv). The construction keeps the dual
+// residual of upper-bounded coordinates exactly zero (z - v = c - A'y) and
+// recomputes slack values from the structural row activity, so an accurate
+// previous-slot point yields a candidate that is both nearly feasible and
+// nearly complementary. Returns the candidate's duality measure mu.
+double build_warm_candidate(Impl& sf, const LpProblem& lp,
+                            const IpmWarmStart& warm, double b_scale,
+                            double c_scale, std::size_t comp_dim) {
+  const std::size_t n = sf.n;
+  const std::size_t m = sf.m;
+  // Interior floors: far enough from the boundary that the first Newton
+  // steps are well-conditioned, small enough that the candidate's mu is
+  // orders of magnitude below the cold start's on an accurate hint.
+  const double floor_x = 1e-2 * b_scale;
+  const double floor_z = 1e-2 * c_scale;
+
+  // Structural primal coordinates: shift and clamp into the interior.
+  sf.wx.assign(n, 0.0);
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    const std::ptrdiff_t k = sf.var_map[j];
+    if (k < 0) continue;
+    const std::size_t kk = static_cast<std::size_t>(k);
+    double val = (*warm.x)[j] - sf.lower_shift[j];
+    const double hi = sf.upper[kk];
+    if (hi < kInf) {
+      const double cap = hi - floor_x;
+      val = cap > floor_x ? std::clamp(val, floor_x, cap) : hi / 2.0;
+    } else {
+      val = std::max(val, floor_x);
+    }
+    sf.wx[kk] = val;
+  }
+  // Slack coordinates from the structural row activity: each slack column
+  // holds a single entry (row, coef) with coef in {-1, +1}, and the row
+  // equation a'x + coef*s = b gives s exactly.
+  sf.ax.assign(m, 0.0);
+  for (std::size_t j = 0; j < sf.n_struct; ++j) {
+    const double xj = sf.wx[j];
+    if (xj == 0.0) continue;
+    for (const auto& [r, v] : sf.columns[j]) sf.ax[r] += v * xj;
+  }
+  for (std::size_t j = sf.n_struct; j < n; ++j) {
+    const auto& [r, coef] = sf.columns[j].front();
+    double s = (sf.b[r] - sf.ax[r]) / coef;
+    const double hi = sf.upper[j];
+    if (hi < kInf) {
+      const double cap = hi - floor_x;
+      s = cap > floor_x ? std::clamp(s, floor_x, cap) : hi / 2.0;
+    } else {
+      s = std::max(s, floor_x);
+    }
+    sf.wx[j] = s;
+  }
+
+  // Duals: carry row duals, derive reduced costs d = c - A'y, then split
+  // them into strictly positive (z, v) with z - v = d exactly for
+  // upper-bounded coordinates (zero dual residual at the warm point).
+  sf.wy.assign(m, 0.0);
+  for (std::size_t r = 0; r < lp.num_rows; ++r) {
+    const std::ptrdiff_t row = sf.row_map[r];
+    if (row >= 0) sf.wy[static_cast<std::size_t>(row)] = (*warm.row_duals)[r];
+  }
+  col_multiply_transpose(sf, sf.wy, sf.w_aty);
+  sf.wz.assign(n, 0.0);
+  sf.ww.assign(n, 0.0);
+  sf.wv.assign(n, 0.0);
+  double mu_acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = sf.c[j] - sf.w_aty[j];
+    if (sf.upper[j] < kInf) {
+      if (d >= 0.0) {
+        sf.wz[j] = d + floor_z;
+        sf.wv[j] = floor_z;
+      } else {
+        sf.wz[j] = floor_z;
+        sf.wv[j] = floor_z - d;
+      }
+      sf.ww[j] = sf.upper[j] - sf.wx[j];
+      mu_acc += sf.ww[j] * sf.wv[j];
+    } else {
+      sf.wz[j] = std::max(floor_z, d);
+    }
+    mu_acc += sf.wx[j] * sf.wz[j];
+  }
+  double warm_mu = mu_acc / static_cast<double>(comp_dim);
+  // Centrality floor: a previous-slot optimum has near-zero complementarity
+  // products in the basic coordinates and O(|reduced cost|) products in the
+  // nonbasic ones — a spread the centering steps would otherwise spend
+  // several iterations flattening. Raising only the dual factors (primal
+  // feasibility of the hint stays exact) lifts every product to a fixed
+  // fraction of the candidate's own mu.
+  const double product_floor = 0.1 * warm_mu;
+  if (product_floor > 0.0 && std::isfinite(product_floor)) {
+    mu_acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (sf.wx[j] * sf.wz[j] < product_floor) {
+        sf.wz[j] = product_floor / sf.wx[j];
+      }
+      mu_acc += sf.wx[j] * sf.wz[j];
+      if (sf.upper[j] < kInf) {
+        if (sf.ww[j] * sf.wv[j] < product_floor) {
+          sf.wv[j] = product_floor / sf.ww[j];
+        }
+        mu_acc += sf.ww[j] * sf.wv[j];
+      }
+    }
+    warm_mu = mu_acc / static_cast<double>(comp_dim);
+  }
+  return warm_mu;
+}
+
 }  // namespace
 
 LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
+  IpmWorkspace ws;
+  return solve(lp, ws);
+}
+
+LpSolution InteriorPointLp::solve(const LpProblem& lp, IpmWorkspace& ws) const {
+  return solve(lp, ws, IpmWarmStart{});
+}
+
+LpSolution InteriorPointLp::solve(const LpProblem& lp, IpmWorkspace& ws,
+                                  const IpmWarmStart& warm) const {
   LpSolution sol;
+  solve_into(lp, ws, warm, sol);
+  return sol;
+}
+
+void InteriorPointLp::solve_into(const LpProblem& lp, IpmWorkspace& ws,
+                                 const IpmWarmStart& warm,
+                                 LpSolution& sol) const {
+  ECA_TRACE_SPAN("ipm_solve");
+  if (obs::metrics_enabled()) IpmMetrics::get().solves.add(1);
+  solve_attempt(lp, ws, warm, sol);
+  if (sol.warm_started && sol.status != SolveStatus::kOptimal) {
+    // The hint steered the iteration somewhere the cold start would not
+    // have gone (divergence heuristics can mistake a bad trajectory for
+    // unboundedness). A warm start is an optimization, never a correctness
+    // risk: rerun cold, bit-identical to a never-warmed solve.
+    if (obs::metrics_enabled()) IpmMetrics::get().warm_retries.add(1);
+    ECA_LOG_WARN(
+        "ipm: warm-started solve failed (status=%s after %d iterations); "
+        "retrying cold",
+        to_string(sol.status), sol.iterations);
+    solve_attempt(lp, ws, IpmWarmStart{}, sol);
+    sol.warm_fallback = true;
+  }
+}
+
+void InteriorPointLp::solve_attempt(const LpProblem& lp, IpmWorkspace& ws,
+                                    const IpmWarmStart& warm,
+                                    LpSolution& sol) const {
+  sol.status = SolveStatus::kNumericalError;
+  sol.x.clear();
+  sol.row_duals.clear();
+  sol.objective_value = 0.0;
+  sol.iterations = 0;
+  sol.primal_residual = 0.0;
+  sol.dual_residual = 0.0;
+  sol.gap = 0.0;
+  sol.warm_started = false;
+  sol.warm_fallback = false;
+
   const std::string problem_error = lp.validate();
   ECA_CHECK(problem_error.empty(), problem_error);
 
-  StandardForm sf = build_standard_form(lp);
+  Impl& sf = *ws.impl_;
+  build_standard_form(lp, sf);
   if (sf.infeasible_constant_row) {
     sol.status = SolveStatus::kPrimalInfeasible;
-    return sol;
+    return;
   }
 
   const std::size_t n = sf.n;
@@ -171,27 +412,38 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
         value = lp.var_upper[j];
       } else {
         sol.status = SolveStatus::kDualInfeasible;
-        return sol;
+        return;
       }
       sol.x[j] = value;
       obj += lp.objective[j] * value;
     }
     sol.objective_value = obj;
     sol.status = SolveStatus::kOptimal;
-    return sol;
+    return;
   }
 
-  std::vector<std::size_t> upper_set;
+  sf.upper_set.clear();
   for (std::size_t j = 0; j < n; ++j) {
-    if (sf.upper[j] < kInf) upper_set.push_back(j);
+    if (sf.upper[j] < kInf) sf.upper_set.push_back(j);
   }
+  const auto& upper_set = sf.upper_set;
 
   const double b_scale = 1.0 + linalg::norm_inf(sf.b);
   const double c_scale = 1.0 + linalg::norm_inf(sf.c);
 
-  // Starting point: strictly interior, magnitude matched to the data.
-  Vec x(n), z(n), y(m, 0.0);
-  Vec w(n, 0.0), v(n, 0.0);  // only entries in upper_set are meaningful
+  // Cold starting point: strictly interior, magnitude matched to the data.
+  // Always built, even when a warm hint is supplied — a rejected warm
+  // candidate falls back to it, bit-identical to a cold solve.
+  Vec& x = sf.x;
+  Vec& z = sf.z;
+  Vec& y = sf.y;
+  Vec& w = sf.w;
+  Vec& v = sf.v;
+  x.assign(n, 0.0);
+  z.assign(n, 0.0);
+  y.assign(m, 0.0);
+  w.assign(n, 0.0);
+  v.assign(n, 0.0);  // only entries in upper_set are meaningful
   for (std::size_t j = 0; j < n; ++j) {
     const double cap = sf.upper[j] < kInf ? sf.upper[j] / 2.0 : kInf;
     x[j] = std::min(b_scale, cap > 0.0 ? cap : b_scale);
@@ -208,14 +460,77 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
   }
 
   const std::size_t comp_dim = n + upper_set.size();
-  Vec ax(m), aty(n);
-  Vec rb(m), rc(n), ru(n, 0.0);
-  Vec theta(n), g(n), rhs(m);
-  Vec dx(n), dy(m), dz(n), dw(n, 0.0), dv(n, 0.0);
-  Vec dx_aff(n), dz_aff(n), dw_aff(n, 0.0), dv_aff(n, 0.0);
-  Vec rxz(n), rwv(n, 0.0);
-  DenseMatrix normal(m, m);
-  Cholesky chol;
+
+  auto duality_mu = [&] {
+    double acc = linalg::dot(x, z);
+    for (std::size_t j : upper_set) acc += w[j] * v[j];
+    return acc / static_cast<double>(comp_dim);
+  };
+
+  double mu = duality_mu();
+
+  // Warm start: build a candidate from the hint and adopt it only when it
+  // strictly beats the cold point's duality measure; otherwise keep the
+  // already-built cold point untouched.
+  if (warm.x != nullptr && warm.row_duals != nullptr &&
+      warm.x->size() == lp.num_vars && warm.row_duals->size() == lp.num_rows) {
+    const double warm_mu =
+        build_warm_candidate(sf, lp, warm, b_scale, c_scale, comp_dim);
+    if (std::isfinite(warm_mu) && warm_mu > 0.0 && warm_mu < mu) {
+      std::copy(sf.wx.begin(), sf.wx.end(), x.begin());
+      std::copy(sf.wy.begin(), sf.wy.end(), y.begin());
+      std::copy(sf.wz.begin(), sf.wz.end(), z.begin());
+      std::copy(sf.ww.begin(), sf.ww.end(), w.begin());
+      std::copy(sf.wv.begin(), sf.wv.end(), v.begin());
+      mu = duality_mu();
+      sol.warm_started = true;
+      if (obs::metrics_enabled()) IpmMetrics::get().warm_accepted.add(1);
+    } else {
+      sol.warm_fallback = true;
+      if (obs::metrics_enabled()) IpmMetrics::get().warm_fallbacks.add(1);
+    }
+  }
+
+  Vec& ax = sf.ax;
+  Vec& aty = sf.aty;
+  Vec& rb = sf.rb;
+  Vec& rc = sf.rc;
+  Vec& ru = sf.ru;
+  Vec& theta = sf.theta;
+  Vec& g = sf.g;
+  Vec& rhs = sf.rhs;
+  Vec& dx = sf.dx;
+  Vec& dy = sf.dy;
+  Vec& dz = sf.dz;
+  Vec& dw = sf.dw;
+  Vec& dv = sf.dv;
+  Vec& dx_aff = sf.dx_aff;
+  Vec& dz_aff = sf.dz_aff;
+  Vec& dw_aff = sf.dw_aff;
+  Vec& dv_aff = sf.dv_aff;
+  Vec& rxz = sf.rxz;
+  Vec& rwv = sf.rwv;
+  ax.assign(m, 0.0);
+  aty.assign(n, 0.0);
+  rb.assign(m, 0.0);
+  rc.assign(n, 0.0);
+  ru.assign(n, 0.0);
+  theta.assign(n, 0.0);
+  g.assign(n, 0.0);
+  rhs.assign(m, 0.0);
+  dx.assign(n, 0.0);
+  dy.assign(m, 0.0);
+  dz.assign(n, 0.0);
+  dw.assign(n, 0.0);
+  dv.assign(n, 0.0);
+  dx_aff.assign(n, 0.0);
+  dz_aff.assign(n, 0.0);
+  dw_aff.assign(n, 0.0);
+  dv_aff.assign(n, 0.0);
+  rxz.assign(n, 0.0);
+  rwv.assign(n, 0.0);
+  DenseMatrix& normal = sf.normal;
+  Cholesky& chol = sf.chol;
 
   auto compute_residuals = [&] {
     col_multiply(sf, x, ax);
@@ -228,13 +543,6 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
     }
   };
 
-  auto duality_mu = [&] {
-    double acc = linalg::dot(x, z);
-    for (std::size_t j : upper_set) acc += w[j] * v[j];
-    return acc / static_cast<double>(comp_dim);
-  };
-
-  double mu = duality_mu();
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     compute_residuals();
     const double rel_rb = linalg::norm_inf(rb) / b_scale;
@@ -274,11 +582,19 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
     // Divergence heuristics.
     if (linalg::norm_inf(x) > 1e13) {
       sol.status = SolveStatus::kDualInfeasible;
-      return sol;
+      if (obs::metrics_enabled()) {
+        IpmMetrics::get().iterations.add(
+            static_cast<std::uint64_t>(sol.iterations));
+      }
+      return;
     }
     if (linalg::norm_inf(z) > 1e13 || linalg::norm_inf(y) > 1e13) {
       sol.status = SolveStatus::kPrimalInfeasible;
-      return sol;
+      if (obs::metrics_enabled()) {
+        IpmMetrics::get().iterations.add(
+            static_cast<std::uint64_t>(sol.iterations));
+      }
+      return;
     }
 
     // Scaling matrix Theta = (Z/X + V/W)^{-1}.
@@ -291,7 +607,7 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
     double reg = options_.regularization * (1.0 + mu);
     bool factorization_failed = false;
     for (;;) {
-      normal = DenseMatrix(m, m);
+      normal.resize(m, m);  // zero-fill; storage reused across iterations
       for (std::size_t j = 0; j < n; ++j) {
         const auto& col = sf.columns[j];
         const double t = theta[j];
@@ -324,16 +640,14 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
         g[j] += (-rwv_in[j] + v[j] * ru[j]) / w[j];
       }
       // rhs = rb - A Theta g  (note dx = Theta (A'dy + g), A dx = rb)
-      Vec tg(n);
-      for (std::size_t j = 0; j < n; ++j) tg[j] = theta[j] * g[j];
-      Vec atg(m);
-      col_multiply(sf, tg, atg);
-      for (std::size_t r = 0; r < m; ++r) rhs[r] = rb[r] - atg[r];
-      ody = chol.solve(rhs);
-      Vec atdy(n);
-      col_multiply_transpose(sf, ody, atdy);
+      for (std::size_t j = 0; j < n; ++j) sf.tg[j] = theta[j] * g[j];
+      col_multiply(sf, sf.tg, sf.atg);
+      for (std::size_t r = 0; r < m; ++r) rhs[r] = rb[r] - sf.atg[r];
+      std::copy(rhs.begin(), rhs.end(), ody.begin());
+      chol.solve_in_place(ody);
+      col_multiply_transpose(sf, ody, sf.atdy);
       for (std::size_t j = 0; j < n; ++j) {
-        odx[j] = theta[j] * (atdy[j] + g[j]);
+        odx[j] = theta[j] * (sf.atdy[j] + g[j]);
         odz[j] = (rxz_in[j] - z[j] * odx[j]) / x[j];
       }
       for (std::size_t j : upper_set) {
@@ -341,6 +655,9 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
         odv[j] = (rwv_in[j] - v[j] * odw[j]) / w[j];
       }
     };
+    sf.tg.assign(n, 0.0);
+    sf.atg.assign(m, 0.0);
+    sf.atdy.assign(n, 0.0);
 
     auto max_step = [&](const Vec& xx, const Vec& dxx, const Vec& ww,
                         const Vec& dww) {
@@ -411,6 +728,9 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
   } else if (sol.status != SolveStatus::kOptimal) {
     sol.status = SolveStatus::kIterationLimit;
   }
+  if (obs::metrics_enabled()) {
+    IpmMetrics::get().iterations.add(static_cast<std::uint64_t>(sol.iterations));
+  }
 
   // Expand to the original variable space.
   sol.x.assign(lp.num_vars, 0.0);
@@ -428,7 +748,6 @@ LpSolution InteriorPointLp::solve(const LpProblem& lp) const {
     }
   }
   sol.objective_value = linalg::dot(lp.objective, sol.x);
-  return sol;
 }
 
 }  // namespace eca::solve

@@ -144,6 +144,75 @@ TEST(StatOpt, MinimizesStaticSlotCost) {
             Simulator::run(instance, oper).cost.static_cost() + 1e-6);
 }
 
+TEST(Baselines, SkeletonPathWithoutWarmStartMatchesLegacyBitwise) {
+  // With warm starts off, the cached-skeleton path must be indistinguishable
+  // from the legacy from-scratch path: the refreshed LP is bitwise equal to
+  // a fresh build, and a cold solve of equal inputs is deterministic.
+  const Instance instance = small_instance(21);
+  BaselineOptions legacy;
+  legacy.reuse_skeleton = false;
+  legacy.warm_start = false;
+  BaselineOptions skeleton_cold;
+  skeleton_cold.reuse_skeleton = true;
+  skeleton_cold.warm_start = false;
+  StatOpt a(legacy);
+  StatOpt b(skeleton_cold);
+  const auto ra = Simulator::run(instance, a);
+  const auto rb = Simulator::run(instance, b);
+  ASSERT_EQ(ra.allocations.size(), rb.allocations.size());
+  for (std::size_t t = 0; t < ra.allocations.size(); ++t) {
+    EXPECT_EQ(ra.allocations[t].x, rb.allocations[t].x) << "slot " << t;
+  }
+  EXPECT_EQ(ra.weighted_total, rb.weighted_total);
+}
+
+TEST(Baselines, WarmStartedPathStaysAtTheSlotOptimum) {
+  // Warm starts change the solver trajectory, not the optimum: the default
+  // path must land on the same per-slot costs as the legacy one up to
+  // solver tolerance.
+  const Instance instance = small_instance(22);
+  BaselineOptions legacy;
+  legacy.reuse_skeleton = false;
+  legacy.warm_start = false;
+  for (int variant = 0; variant < 2; ++variant) {
+    auto make = [&](BaselineOptions options) -> AlgorithmPtr {
+      if (variant == 0) return std::make_unique<StatOpt>(options);
+      return std::make_unique<OnlineGreedy>(options);
+    };
+    auto warm = make(BaselineOptions{});
+    auto cold = make(legacy);
+    const auto rw = Simulator::run(instance, *warm);
+    const auto rc = Simulator::run(instance, *cold);
+    EXPECT_NEAR(rw.weighted_total, rc.weighted_total,
+                1e-5 * (1.0 + rc.weighted_total))
+        << warm->name();
+    EXPECT_LT(rw.max_violation, 1e-5);
+  }
+}
+
+TEST(StaticOnceDeathTest, DecideWithoutResetAborts) {
+  // decide() before reset() (or after a reset on a different-shaped
+  // instance) must fail loudly, not silently return a zero allocation.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Instance instance = small_instance(13);
+  StaticOnce algorithm;
+  const model::Allocation previous(instance.num_clouds, instance.num_users);
+  EXPECT_DEATH((void)algorithm.decide(instance, 0, previous),
+               "StaticOnce::reset");
+  // A reset against a narrower instance must not satisfy the check either:
+  // the cloud count can match while the user count does not.
+  sim::ScenarioOptions narrow;
+  narrow.num_users = 4;
+  narrow.num_slots = 2;
+  narrow.seed = 13;
+  const Instance other = sim::make_random_walk_instance(narrow);
+  ASSERT_EQ(other.num_clouds, instance.num_clouds);
+  ASSERT_NE(other.num_users, instance.num_users);
+  algorithm.reset(other);
+  EXPECT_DEATH((void)algorithm.decide(instance, 0, previous),
+               "StaticOnce::reset");
+}
+
 TEST(StaticOnce, NeverAdaptsAfterSlotZero) {
   const Instance instance = small_instance(12);
   StaticOnce algorithm;

@@ -178,5 +178,133 @@ TEST(StaticSlotLp, RowCountsAreDemandPlusCapacity) {
   EXPECT_EQ(built.lp.num_vars, instance.num_users * instance.num_clouds);
 }
 
+// --- Skeleton refresh: bitwise equivalence to from-scratch builds -----------
+
+void expect_lp_bitwise_equal(const solve::LpProblem& a,
+                             const solve::LpProblem& b) {
+  ASSERT_EQ(a.num_vars, b.num_vars);
+  ASSERT_EQ(a.num_rows, b.num_rows);
+  for (std::size_t j = 0; j < a.num_vars; ++j) {
+    EXPECT_EQ(a.objective[j], b.objective[j]) << "objective[" << j << "]";
+    EXPECT_EQ(a.var_lower[j], b.var_lower[j]) << "var_lower[" << j << "]";
+    EXPECT_EQ(a.var_upper[j], b.var_upper[j]) << "var_upper[" << j << "]";
+  }
+  for (std::size_t r = 0; r < a.num_rows; ++r) {
+    EXPECT_EQ(a.row_lower[r], b.row_lower[r]) << "row_lower[" << r << "]";
+    EXPECT_EQ(a.row_upper[r], b.row_upper[r]) << "row_upper[" << r << "]";
+  }
+  ASSERT_EQ(a.elements.size(), b.elements.size());
+  for (std::size_t e = 0; e < a.elements.size(); ++e) {
+    EXPECT_EQ(a.elements[e].row, b.elements[e].row) << "element " << e;
+    EXPECT_EQ(a.elements[e].col, b.elements[e].col) << "element " << e;
+    EXPECT_EQ(a.elements[e].value, b.elements[e].value) << "element " << e;
+  }
+}
+
+Allocation random_previous(const Instance& instance, Rng& rng) {
+  Allocation previous(instance.num_clouds, instance.num_users);
+  for (std::size_t j = 0; j < instance.num_users; ++j) {
+    // Mix exact placements with dust-sized entries to exercise the dust
+    // rule on the s upper bounds.
+    const std::size_t i = rng.uniform_index(instance.num_clouds);
+    previous.at(i, j) = instance.demand[j];
+    const std::size_t k = rng.uniform_index(instance.num_clouds);
+    if (k != i && rng.uniform() < 0.3) previous.at(k, j) = 1e-12;
+  }
+  return previous;
+}
+
+TEST(StaticSlotLpSkeleton, RefreshMatchesFromScratchBuildBitwise) {
+  for (const bool include_op : {true, false}) {
+    for (const bool include_sq : {true, false}) {
+      const Instance instance = small_instance(21);
+      StaticSlotLpSkeleton skeleton(instance, include_op, include_sq);
+      // Refresh out of order to prove refreshes are independent of history.
+      for (const std::size_t t : {1, 0, 2, 1}) {
+        const StaticSlotLp& refreshed = skeleton.refresh(instance, t);
+        const StaticSlotLp scratch =
+            build_static_slot_lp(instance, t, include_op, include_sq);
+        expect_lp_bitwise_equal(refreshed.lp, scratch.lp);
+      }
+    }
+  }
+}
+
+TEST(GreedySlotLpSkeleton, RefreshMatchesFromScratchBuildBitwise) {
+  const Instance instance = small_instance(23);
+  Rng rng(23);
+  GreedySlotLpSkeleton skeleton(instance);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t t = rng.uniform_index(instance.num_slots);
+    const Allocation previous = random_previous(instance, rng);
+    const GreedySlotLp& refreshed = skeleton.refresh(instance, t, previous);
+    const GreedySlotLp scratch = build_greedy_slot_lp(instance, t, previous);
+    EXPECT_EQ(refreshed.s_offset, scratch.s_offset);
+    EXPECT_EQ(refreshed.w_offset, scratch.w_offset);
+    EXPECT_EQ(refreshed.u_offset, scratch.u_offset);
+    expect_lp_bitwise_equal(refreshed.lp, scratch.lp);
+  }
+}
+
+TEST(GreedySlotLpSkeleton, RefreshHandlesEmptyPreviousLikeBuilder) {
+  const Instance instance = small_instance(29);
+  GreedySlotLpSkeleton skeleton(instance);
+  // First give the skeleton a non-trivial slot so stale entries would show.
+  Rng rng(29);
+  (void)skeleton.refresh(instance, 1, random_previous(instance, rng));
+  const Allocation empty;  // previous.x.empty() path of the builder
+  const GreedySlotLp& refreshed = skeleton.refresh(instance, 0, empty);
+  const GreedySlotLp scratch = build_greedy_slot_lp(instance, 0, empty);
+  expect_lp_bitwise_equal(refreshed.lp, scratch.lp);
+}
+
+// --- GreedySlotLp::extract round-trip ---------------------------------------
+
+TEST(GreedySlotLp, ExtractRecoversSumOfSplitVariablesAndIgnoresSlack) {
+  const Instance instance = small_instance(31);
+  Rng rng(31);
+  const Allocation previous = random_previous(instance, rng);
+  const GreedySlotLp built = build_greedy_slot_lp(instance, 1, previous);
+  // Hand-crafted solution vector: x must come back as s + w entry by entry,
+  // clamped at zero, with the trailing u_i slack entries ignored entirely.
+  solve::Vec solution(built.lp.num_vars, 0.0);
+  const std::size_t n = instance.num_clouds * instance.num_users;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    solution[built.s_offset + idx] = 0.25 * static_cast<double>(idx % 5);
+    solution[built.w_offset + idx] = 0.5 * static_cast<double>(idx % 3);
+  }
+  // Tiny negative solver noise must be clamped to zero, not propagated.
+  solution[built.s_offset] = -1e-13;
+  // Absurd u values must not affect the extracted allocation.
+  for (std::size_t i = 0; i < instance.num_clouds; ++i) {
+    solution[built.u_offset + i] = 1e9;
+  }
+  const Allocation alloc = built.extract(instance, solution);
+  ASSERT_EQ(alloc.num_clouds, instance.num_clouds);
+  ASSERT_EQ(alloc.num_users, instance.num_users);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const double s = std::max(solution[built.s_offset + idx], 0.0);
+    const double w = std::max(solution[built.w_offset + idx], 0.0);
+    EXPECT_EQ(alloc.x[idx], s + w) << "x[" << idx << "]";
+  }
+}
+
+TEST(GreedySlotLp, ExtractRoundTripsThroughSolver) {
+  // Solve the greedy LP and verify the extracted allocation is exactly the
+  // s + w recombination of the solver's solution vector.
+  const Instance instance = small_instance(37);
+  Rng rng(37);
+  const Allocation previous = random_previous(instance, rng);
+  const GreedySlotLp built = build_greedy_slot_lp(instance, 1, previous);
+  const solve::LpSolution sol = solve::InteriorPointLp().solve(built.lp);
+  ASSERT_EQ(sol.status, solve::SolveStatus::kOptimal);
+  const Allocation alloc = built.extract(instance, sol.x);
+  const std::size_t n = instance.num_clouds * instance.num_users;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    EXPECT_EQ(alloc.x[idx], std::max(sol.x[built.s_offset + idx], 0.0) +
+                                std::max(sol.x[built.w_offset + idx], 0.0));
+  }
+}
+
 }  // namespace
 }  // namespace eca::algo

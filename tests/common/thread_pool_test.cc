@@ -118,6 +118,46 @@ TEST(ThreadPool, ResolveLpThreadsAppliesWorkFloorAndHardwareCap) {
             hw);
 }
 
+TEST(ThreadPool, ResolveBaselineThreadsPolicy) {
+  // Explicit request > ECA_BASELINE_THREADS > default 1 (serial).
+  ::unsetenv("ECA_BASELINE_THREADS");
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(), 1u);
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(6), 6u);
+  ::setenv("ECA_BASELINE_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(0), 3u);
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(5), 5u);  // explicit wins
+  ::setenv("ECA_BASELINE_THREADS", "", 1);  // empty means unset
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(0), 1u);
+  ::unsetenv("ECA_BASELINE_THREADS");
+  // Work-aware overload: floor per worker, hardware cap optional.
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(8, 1000, 4096, false), 1u);
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(8, 4 * 4096, 4096, false),
+            4u);
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(8, 1u << 30, 4096, false),
+            8u);
+  const unsigned raw_hw = std::thread::hardware_concurrency();
+  const std::size_t hw = raw_hw > 0 ? raw_hw : 1;
+  EXPECT_EQ(ThreadPool::resolve_baseline_threads(static_cast<int>(hw) + 4,
+                                                 1u << 30, 1),
+            hw);
+}
+
+TEST(ThreadPool, ResolveBaselineThreadsFailsFastOnInvalidEnv) {
+  // Unlike the warn-and-fall-back knobs, ECA_BASELINE_THREADS exits with
+  // status 2 on any set-but-invalid value: a typo must not silently run a
+  // serial sweep that looks like a slow machine.
+  ::setenv("ECA_BASELINE_THREADS", "many", 1);
+  EXPECT_EXIT(ThreadPool::resolve_baseline_threads(),
+              ::testing::ExitedWithCode(2), "ECA_BASELINE_THREADS");
+  ::setenv("ECA_BASELINE_THREADS", "0", 1);
+  EXPECT_EXIT(ThreadPool::resolve_baseline_threads(),
+              ::testing::ExitedWithCode(2), "ECA_BASELINE_THREADS");
+  ::setenv("ECA_BASELINE_THREADS", "-2", 1);
+  EXPECT_EXIT(ThreadPool::resolve_baseline_threads(),
+              ::testing::ExitedWithCode(2), "ECA_BASELINE_THREADS");
+  ::unsetenv("ECA_BASELINE_THREADS");
+}
+
 TEST(ThreadPool, SlotMinChunkReadsEnv) {
   ::unsetenv("ECA_SLOT_MIN_CHUNK");
   EXPECT_EQ(ThreadPool::slot_min_chunk(), ThreadPool::kDefaultSlotMinChunk);
