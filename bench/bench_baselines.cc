@@ -252,7 +252,8 @@ BaselinePerf time_baseline_sweep(const bench::BenchScale& scale) {
   return perf;
 }
 
-void emit_json(const bench::BenchScale& scale, const BaselinePerf& perf) {
+void emit_json(const bench::BenchScale& scale, const BaselinePerf& perf,
+               const bench::EventsOverhead& events) {
   const std::string path =
       env_string("ECA_BENCH_BASELINES_JSON", "BENCH_baselines.json");
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -262,6 +263,8 @@ void emit_json(const bench::BenchScale& scale, const BaselinePerf& perf) {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"schema\": \"eca.bench_baselines.v1\",\n");
+  bench::write_meta_json(out);
+  bench::write_events_overhead_json(out, events);
   std::fprintf(out,
                "  \"scale\": {\"users\": %zu, \"slots\": %zu, "
                "\"repetitions\": %d, \"seed\": %llu},\n",
@@ -334,6 +337,8 @@ int main() {
                            "cached-skeleton / warm-start / slot fan-out sweep",
                            scale);
   const BaselinePerf perf = time_baseline_sweep(scale);
-  emit_json(scale, perf);
+  const eca::bench::EventsOverhead events =
+      eca::bench::measure_default_events_overhead(scale);
+  emit_json(scale, perf, events);
   return 0;
 }

@@ -9,14 +9,27 @@
 //   ECA_CSV   (default 0)    additionally dump CSV rows
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 
+#include "algo/online_approx.h"
 #include "common/env.h"
 #include "common/table.h"
+#include "obs/events.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
+#include "sim/simulator.h"
+
+// Build provenance, stamped by bench/CMakeLists.txt at configure time.
+#ifndef ECA_GIT_SHA
+#define ECA_GIT_SHA "unknown"
+#endif
+#ifndef ECA_BUILD_TYPE
+#define ECA_BUILD_TYPE "unknown"
+#endif
 
 namespace eca::bench {
 
@@ -128,6 +141,93 @@ inline void emit(const Table& table, bool csv) {
     std::printf("--- csv ---\n");
     table.print_csv(std::cout);
   }
+}
+
+// Provenance meta block shared by every BENCH_*.json: git_sha and
+// build_type are compile-time stamps, the UTC timestamp is taken at run
+// time — together they make a BENCH trajectory joinable across commits.
+// Writes `"meta": {...},` (trailing comma: meant to lead an object body).
+inline void write_meta_json(FILE* out) {
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  std::fprintf(out,
+               "  \"meta\": {\"git_sha\": \"%s\", \"build_type\": \"%s\", "
+               "\"timestamp_utc\": \"%s\"},\n",
+               ECA_GIT_SHA, ECA_BUILD_TYPE, stamp);
+}
+
+struct EventsOverhead {
+  double seconds_off = 0.0;  // best-of-N wall time, event streaming off
+  double seconds_on = 0.0;   // best-of-N wall time, buffer-only event log
+};
+
+// Measures the wall-time overhead of event recording on `workload` (a
+// callable running one representative simulation): best-of-`rounds` with
+// the global log dropped vs. installed buffer-only (large capacity, no file
+// I/O — isolating record() cost from serialization). perf_guard.py gates
+// the on/off ratio. Replaces any env-configured global event log; the
+// benches own their process, so nothing of value is lost.
+template <typename Fn>
+EventsOverhead measure_events_overhead(Fn&& workload, int rounds = 3) {
+  const auto best_of = [&](bool with_events) {
+    double best = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      if (with_events) {
+        obs::EventLogOptions options;  // path stays empty: buffer-only
+        options.capacity = std::size_t{1} << 20;
+        obs::install_global_events(options);
+      } else {
+        obs::drop_global_events();
+      }
+      const auto start = std::chrono::steady_clock::now();
+      workload();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (r == 0 || s < best) best = s;
+    }
+    return best;
+  };
+  EventsOverhead result;
+  result.seconds_off = best_of(false);
+  result.seconds_on = best_of(true);
+  obs::drop_global_events();
+  return result;
+}
+
+// Writes `"events_overhead": {...},` (trailing comma, like write_meta_json).
+inline void write_events_overhead_json(FILE* out, const EventsOverhead& o) {
+  std::fprintf(out,
+               "  \"events_overhead\": {\"seconds_off\": %.6f, "
+               "\"seconds_on\": %.6f},\n",
+               o.seconds_off, o.seconds_on);
+}
+
+// Default events-overhead workload shared by the bench binaries: one
+// online-approx simulation over a small instance — it exercises every event
+// family the pipeline emits (run/workers lifecycle from the simulator,
+// per-slot cost splits, decide-path solve events).
+inline EventsOverhead measure_default_events_overhead(
+    const BenchScale& scale) {
+  sim::ScenarioOptions options = scenario_from_scale(scale);
+  if (options.num_users > 12) options.num_users = 12;
+  if (options.num_slots > 16) options.num_slots = 16;
+  const model::Instance instance = sim::make_rome_taxi_instance(options, 0);
+  const EventsOverhead overhead =
+      measure_events_overhead([&instance] {
+        algo::OnlineApprox algorithm;
+        (void)sim::Simulator::run(instance, algorithm);
+      });
+  std::printf("events overhead: %.4fs off -> %.4fs on (%+.2f%%)\n",
+              overhead.seconds_off, overhead.seconds_on,
+              overhead.seconds_off > 0.0
+                  ? 100.0 * (overhead.seconds_on / overhead.seconds_off - 1.0)
+                  : 0.0);
+  return overhead;
 }
 
 }  // namespace eca::bench

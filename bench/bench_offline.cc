@@ -151,7 +151,8 @@ OfflinePerf time_offline_sweep(const bench::BenchScale& scale) {
   return perf;
 }
 
-void emit_json(const bench::BenchScale& scale, const OfflinePerf& perf) {
+void emit_json(const bench::BenchScale& scale, const OfflinePerf& perf,
+               const bench::EventsOverhead& events) {
   const std::string path =
       env_string("ECA_BENCH_OFFLINE_JSON", "BENCH_offline.json");
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -161,6 +162,8 @@ void emit_json(const bench::BenchScale& scale, const OfflinePerf& perf) {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"schema\": \"eca.bench_offline.v1\",\n");
+  bench::write_meta_json(out);
+  bench::write_events_overhead_json(out, events);
   std::fprintf(out,
                "  \"scale\": {\"users\": %zu, \"slots\": %zu, "
                "\"repetitions\": %d, \"seed\": %llu},\n",
@@ -217,6 +220,8 @@ int main() {
   eca::bench::print_header("offline", "parallel PDHG horizon-LP sweep",
                            scale);
   const OfflinePerf perf = time_offline_sweep(scale);
-  emit_json(scale, perf);
+  const eca::bench::EventsOverhead events =
+      eca::bench::measure_default_events_overhead(scale);
+  emit_json(scale, perf, events);
   return 0;
 }

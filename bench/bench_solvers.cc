@@ -417,7 +417,8 @@ WarmStartPerf time_warm_start(const bench::BenchScale& scale) {
 
 void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
                const RunnerPerf& runner, const SweepPerf& sweep,
-               const WarmStartPerf& warm) {
+               const WarmStartPerf& warm,
+               const bench::EventsOverhead& events) {
   const std::string path = env_string("ECA_BENCH_JSON", "BENCH_solvers.json");
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -438,6 +439,8 @@ void emit_json(const bench::BenchScale& scale, const NewtonPerf& newton,
                              : 0.0;
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"schema\": \"eca.bench_solvers.v3\",\n");
+  bench::write_meta_json(out);
+  bench::write_events_overhead_json(out, events);
   std::fprintf(out,
                "  \"scale\": {\"users\": %zu, \"slots\": %zu, "
                "\"repetitions\": %d, \"seed\": %llu},\n",
@@ -541,7 +544,9 @@ int main(int argc, char** argv) {
   const RunnerPerf runner = time_runner(scale);
   const SweepPerf sweep = time_slot_sweep(scale);
   const WarmStartPerf warm = time_warm_start(scale);
-  emit_json(scale, newton, runner, sweep, warm);
+  const eca::bench::EventsOverhead events =
+      eca::bench::measure_default_events_overhead(scale);
+  emit_json(scale, newton, runner, sweep, warm, events);
 
   if (eca::env_bool("ECA_GBENCH", false)) {
     benchmark::Initialize(&argc, argv);

@@ -11,9 +11,12 @@
 // be fed through every algorithm in the library without writing C++.
 //
 // Observability: set ECA_TELEMETRY=<path> to write the run's
-// eca.telemetry.v1 summary (per-slot cost split + solver convergence),
-// ECA_TRACE=<path> for a Chrome-trace span file, ECA_METRICS=off to turn
-// instrumentation off entirely. See README.md §Observability.
+// eca.telemetry.v3 summary (per-slot cost split + solver convergence),
+// ECA_EVENTS=<path> for the eca.events.v1 JSONL lifecycle stream,
+// ECA_METRICS_OUT=<path> for a Prometheus text dump of the metrics
+// registry, ECA_TRACE=<path> for a Chrome-trace span file, and
+// ECA_METRICS=off to turn instrumentation off entirely.
+// See README.md §Observability.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +28,9 @@
 #include "algo/offline.h"
 #include "algo/online_approx.h"
 #include "io/serialize.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 
@@ -102,6 +108,25 @@ int run(const std::string& path, const std::string& algorithm_name) {
       return 1;
     }
   }
+  const std::string metrics_out = io::metrics_out_path_from_env();
+  if (!metrics_out.empty()) {
+    if (io::save_metrics_snapshot(metrics_out,
+                                  obs::MetricsRegistry::global().snapshot())) {
+      std::printf("  metrics snapshot -> %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "could not write metrics snapshot to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  obs::EventLog* const events = obs::global_events();
+  obs::TraceSession* const trace = obs::global_trace();
+  std::printf("  obs: threads_seen=%zu trace_dropped=%zu "
+              "events_recorded=%zu events_dropped=%zu\n",
+              obs::threads_seen(),
+              trace != nullptr ? trace->dropped() : std::size_t{0},
+              events != nullptr ? events->recorded() : std::size_t{0},
+              events != nullptr ? events->dropped() : std::size_t{0});
   return 0;
 }
 

@@ -24,7 +24,8 @@ if [[ "${ECA_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DECA_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
     --target test_runner_determinism test_slot_parallel test_obs_parallel \
-             test_pdhg_parallel test_baseline_parallel
+             test_pdhg_parallel test_baseline_parallel \
+             test_events_determinism
   echo "== tsan-smoke: ctest -L tsan-smoke =="
   ctest --test-dir build-tsan -L tsan-smoke --output-on-failure
 else
@@ -37,10 +38,19 @@ rm -rf "$obs_dir" && mkdir -p "$obs_dir"
 (cd "$obs_dir" && ../examples/run_instance --demo > run.log)
 ECA_METRICS=on ECA_TRACE="$obs_dir/run.trace.json" \
   ECA_TELEMETRY="$obs_dir/run.telemetry.json" \
+  ECA_EVENTS="$obs_dir/run.events.jsonl" \
+  ECA_METRICS_OUT="$obs_dir/run.metrics.prom" \
   ./build/examples/run_instance "$obs_dir/demo.instance" online-approx
 python3 scripts/validate_telemetry.py \
   --telemetry "$obs_dir/run.telemetry.json" \
-  --trace "$obs_dir/run.trace.json"
+  --trace "$obs_dir/run.trace.json" \
+  --events "$obs_dir/run.events.jsonl"
+
+echo "== obs: markdown run report =="
+python3 scripts/report_run.py \
+  --telemetry "$obs_dir/run.telemetry.json" \
+  --events "$obs_dir/run.events.jsonl" \
+  --out "$obs_dir/report.md"
 
 echo "== bench: quick-mode sweep =="
 # Sweep through J=1024 so the perf guard's active-vs-dense gate has a

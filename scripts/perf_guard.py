@@ -52,6 +52,12 @@ eca.bench_baselines.v1 (baseline-evaluation sweep):
     optimal vertex, but the evaluated cost must stay in the same ballpark;
   * max_violation above 1e-5 — the optimized path must stay feasible.
 
+All three schemas additionally carry an "events_overhead" block (best-of-N
+wall time for a representative simulation with event streaming off vs. on,
+buffer-only) and a provenance "meta" block; the shared gate requires the
+events-on leg within 2% of events-off. Quick-mode timings below 10 ms are
+too noisy to gate and print a note instead.
+
 Exits 0 with a summary line per file when every check passes.
 """
 import json
@@ -59,11 +65,35 @@ import sys
 
 ACTIVE_GATE_USERS = 1024
 MIN_POOL_SPEEDUP = 0.95
+MAX_EVENTS_OVERHEAD = 1.02
+MIN_GATEABLE_SECONDS = 0.01
 
 
 def fail(message):
     print(f"perf_guard: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_events_overhead(path, bench):
+    """Shared events-on-vs-off gate; every BENCH schema carries the block."""
+    block = bench.get("events_overhead")
+    if block is None:
+        print(f"perf_guard: note: {path}: no events_overhead block "
+              "(pre-events bench json); overhead gate not exercised")
+        return
+    off, on = block["seconds_off"], block["seconds_on"]
+    if off < MIN_GATEABLE_SECONDS:
+        print(f"perf_guard: note: {path}: events-off leg {off * 1e3:.2f} ms "
+              "is below the gateable floor (quick-mode scale); overhead "
+              "gate not exercised")
+        return
+    if on > off * MAX_EVENTS_OVERHEAD:
+        fail(f"{path}: events-on wall time {on:.4f}s exceeds "
+             f"{MAX_EVENTS_OVERHEAD:.2f}x the events-off leg {off:.4f}s — "
+             "event recording must stay off the critical path")
+    print(f"perf_guard: OK: {path}: events overhead "
+          f"{100.0 * (on / off - 1.0):+.2f}% "
+          f"(on {on:.4f}s vs off {off:.4f}s)")
 
 
 def check_solvers(path, bench):
@@ -205,6 +235,7 @@ def main():
             fail(f"{path}: unknown schema {schema!r}; expected one of "
                  f"{sorted(CHECKS)}")
         check(path, bench)
+        check_events_overhead(path, bench)
 
 
 if __name__ == "__main__":

@@ -2,16 +2,22 @@
 """Schema checker for the observability artifacts.
 
     scripts/validate_telemetry.py --telemetry run.telemetry.json \
-                                  [--trace run.trace.json]
+                                  [--trace run.trace.json] \
+                                  [--events run.events.jsonl]
 
 Validates:
-  * the telemetry file against schema eca.telemetry.v2 — required fields,
-    types, and the accounting invariant that the per-slot weighted cost
-    splits sum to total_cost within 1e-9 relative (float reassociation is
-    the only permitted difference);
+  * the telemetry file against schema eca.telemetry.v3 — required fields,
+    types, the accounting invariant that the per-slot weighted cost splits
+    sum to total_cost within 1e-9 relative (float reassociation is the only
+    permitted difference), and — when a reference is attached — that each
+    slot's regret split sums to cost_total - offline_cost within the same
+    tolerance;
   * the optional Chrome-trace file: a strict JSON array, one event per
     line, each a complete-event record ("ph":"X") with numeric ts/dur —
-    i.e. loadable by chrome://tracing and Perfetto.
+    i.e. loadable by chrome://tracing and Perfetto;
+  * the optional eca.events.v1 JSONL stream: a header line with matching
+    schema/count, contiguous sequence numbers, known event kinds with the
+    right payload fields, and monotone slot ordering within each run scope.
 
 Exits 0 when valid, 1 with a message on the first violation.
 """
@@ -19,7 +25,8 @@ import argparse
 import json
 import sys
 
-SCHEMA = "eca.telemetry.v2"
+SCHEMA = "eca.telemetry.v3"
+EVENTS_SCHEMA = "eca.events.v1"
 REL_TOL = 1e-9
 
 RUN_FIELDS = {
@@ -30,6 +37,11 @@ RUN_FIELDS = {
     "num_slots": int,
     "total_cost": (int, float),
     "wall_seconds": (int, float),
+    "has_reference": bool,
+    "offline_total_cost": (int, float),
+    "ratio": (int, float),
+    "trace_dropped": int,
+    "events_dropped": int,
     "total_newton_iterations": int,
     "warm_started_slots": int,
     "warm_fallback_slots": int,
@@ -44,6 +56,16 @@ SLOT_FIELDS = {
     "cost_service_quality": (int, float),
     "cost_reconfiguration": (int, float),
     "cost_migration": (int, float),
+}
+
+# Present on every slot exactly when the run has a reference attached.
+SLOT_REFERENCE_FIELDS = {
+    "offline_cost": (int, float),
+    "ratio_cum": (int, float),
+    "regret_operation": (int, float),
+    "regret_service_quality": (int, float),
+    "regret_reconfiguration": (int, float),
+    "regret_migration": (int, float),
 }
 
 SOLVE_FIELDS = {
@@ -94,14 +116,31 @@ def validate_telemetry(path):
     if len(run["slots"]) != run["num_slots"]:
         fail(f"{path}: {len(run['slots'])} slot records for "
              f"num_slots={run['num_slots']}")
+    has_reference = run["has_reference"]
     slot_sum = 0.0
     for index, slot in enumerate(run["slots"]):
         where = f"{path}: slots[{index}]"
         check_fields(slot, SLOT_FIELDS, where)
         if slot["slot"] != index:
             fail(f"{where}: slot index {slot['slot']} != position {index}")
-        slot_sum += (slot["cost_operation"] + slot["cost_service_quality"]
-                     + slot["cost_reconfiguration"] + slot["cost_migration"])
+        cost_total = (slot["cost_operation"] + slot["cost_service_quality"]
+                      + slot["cost_reconfiguration"]
+                      + slot["cost_migration"])
+        slot_sum += cost_total
+        if has_reference:
+            check_fields(slot, SLOT_REFERENCE_FIELDS, where)
+            regret_sum = (slot["regret_operation"]
+                          + slot["regret_service_quality"]
+                          + slot["regret_reconfiguration"]
+                          + slot["regret_migration"])
+            excess = cost_total - slot["offline_cost"]
+            tol = REL_TOL * max(1.0, abs(cost_total))
+            if abs(regret_sum - excess) > tol:
+                fail(f"{where}: regret split sums to {regret_sum!r}, "
+                     f"expected cost - offline_cost = {excess!r}")
+        elif "ratio_cum" in slot:
+            fail(f"{where}: attribution fields present without "
+                 "has_reference")
         if "solve" in slot:
             check_fields(slot["solve"], SOLVE_FIELDS, f"{where}.solve")
     total = run["total_cost"]
@@ -109,6 +148,13 @@ def validate_telemetry(path):
     if abs(slot_sum - total) > tolerance:
         fail(f"{path}: slot cost sum {slot_sum!r} differs from total_cost "
              f"{total!r} by {abs(slot_sum - total):.3e} (> {tolerance:.3e})")
+    if has_reference and run["slots"]:
+        final_ratio = run["slots"][-1]["ratio_cum"]
+        # Numerator and denominator each carry their own <=1e-9 relative
+        # reassociation drift; allow an order of magnitude of headroom.
+        if abs(final_ratio - run["ratio"]) > 1e-8 * max(1.0, run["ratio"]):
+            fail(f"{path}: final ratio_cum {final_ratio!r} differs from "
+                 f"run ratio {run['ratio']!r}")
     solved = sum(1 for slot in run["slots"] if "solve" in slot)
     print(f"validate_telemetry: OK: {path}: {run['algorithm']}, "
           f"{run['num_slots']} slots ({solved} with solver stats), "
@@ -149,16 +195,93 @@ def validate_trace(path):
     print(f"validate_telemetry: OK: {path}: {len(events)} trace events")
 
 
+# kind -> required payload fields (past seq/kind). Matches the writer in
+# src/obs/events.cc.
+EVENT_KINDS = {
+    "experiment_begin": {"repetitions": int, "algorithms": int},
+    "rep_begin": {"rep": int, "offline_cost": (int, float)},
+    "run_begin": {"algorithm": str, "clouds": int, "users": int,
+                  "slots": int},
+    "workers": {"scope": str, "work": int, "min_work": int,
+                "eligible": bool},
+    "slot": {"slot": int, "cost_operation": (int, float),
+             "cost_service_quality": (int, float),
+             "cost_reconfiguration": (int, float),
+             "cost_migration": (int, float)},
+    "solve": {"slot": int, "newton_iterations": int, "mu_steps": int,
+              "warm_started": bool, "warm_fallback": bool,
+              "active_set": bool, "active_fallback": bool},
+    "run_end": {"algorithm": str, "slots": int, "newton_iterations": int,
+                "warm_fallback_slots": int, "active_fallback_slots": int,
+                "total_cost": (int, float)},
+    "result": {"algorithm": str, "rep": int, "cost": (int, float),
+               "ratio": (int, float)},
+    "rep_end": {"rep": int},
+    "experiment_end": {"simulations": int},
+}
+
+
+def validate_events(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        fail(f"{path}: {err}")
+    if not lines:
+        fail(f"{path}: empty events file (expected a header line)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        fail(f"{path}: header: {err}")
+    for name in ("schema", "events", "dropped"):
+        if name not in header:
+            fail(f"{path}: header: missing field '{name}'")
+    if header["schema"] != EVENTS_SCHEMA:
+        fail(f"{path}: header schema is '{header['schema']}', expected "
+             f"'{EVENTS_SCHEMA}'")
+    if header["events"] != len(lines) - 1:
+        fail(f"{path}: header claims {header['events']} events, file has "
+             f"{len(lines) - 1} body lines")
+    # Slot/solve events must be monotone within each run scope — this is
+    # the driving-thread, ascending-slot-order contract.
+    last_slot = {"slot": -1, "solve": -1}
+    for index, line in enumerate(lines[1:]):
+        where = f"{path}: line {index + 2}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(f"{where}: {err}")
+        if event.get("seq") != index:
+            fail(f"{where}: seq {event.get('seq')!r} != position {index}")
+        kind = event.get("kind")
+        if kind not in EVENT_KINDS:
+            fail(f"{where}: unknown event kind {kind!r}")
+        check_fields(event, EVENT_KINDS[kind], where)
+        if kind == "run_begin":
+            last_slot = {"slot": -1, "solve": -1}
+        elif kind in ("slot", "solve"):
+            if event["slot"] <= last_slot[kind]:
+                fail(f"{where}: {kind} event slot {event['slot']} not "
+                     f"increasing (previous {last_slot[kind]})")
+            last_slot[kind] = event["slot"]
+    print(f"validate_telemetry: OK: {path}: {len(lines) - 1} events, "
+          f"{header['dropped']} dropped")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--telemetry", required=True,
-                        help="eca.telemetry.v2 JSON file")
+                        help="eca.telemetry.v3 JSON file")
     parser.add_argument("--trace", default=None,
                         help="optional Chrome-trace JSON file")
+    parser.add_argument("--events", default=None,
+                        help="optional eca.events.v1 JSONL stream")
     args = parser.parse_args()
     validate_telemetry(args.telemetry)
     if args.trace:
         validate_trace(args.trace)
+    if args.events:
+        validate_events(args.events)
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@
 
 #include "mobility/mobility.h"
 #include "model/instance.h"
+#include "obs/metrics.h"
 #include "obs/telemetry.h"
 
 namespace eca::io {
@@ -47,10 +48,25 @@ bool save_instance(const std::string& path, const model::Instance& instance);
 std::optional<model::Instance> load_instance(const std::string& path,
                                              std::string* error);
 
-// Run telemetry is serialized as JSON (schema "eca.telemetry.v2") rather
+// Run telemetry is serialized as JSON (schema "eca.telemetry.v3") rather
 // than the line-oriented text above so downstream tooling (the schema
 // checker in scripts/, notebooks) can consume it without a custom parser.
 void write_telemetry(std::ostream& os, const obs::RunTelemetry& run);
 bool save_telemetry(const std::string& path, const obs::RunTelemetry& run);
+
+// End-of-run metrics exposition: the full MetricsRegistry snapshot in
+// Prometheus text format (one `# TYPE` line per metric; names sanitized to
+// `eca_<name with dots replaced by underscores>`; log2-bucket histograms as
+// cumulative `le`-bucket series). Scrape-file friendly: point a node_exporter
+// textfile collector, `promtool check metrics`, or a notebook at it.
+void write_metrics_snapshot(std::ostream& os,
+                            const obs::MetricsSnapshot& snapshot);
+bool save_metrics_snapshot(const std::string& path,
+                           const obs::MetricsSnapshot& snapshot);
+
+// Resolves ECA_METRICS_OUT. Returns the target path or "" when the knob is
+// unset; fail-fasts (exit 2) when it is set but empty or unwritable — the
+// same contract as ECA_METRICS / ECA_EVENTS.
+std::string metrics_out_path_from_env();
 
 }  // namespace eca::io

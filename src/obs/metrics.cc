@@ -36,14 +36,21 @@ bool metrics_enabled_from_env() {
 
 std::atomic<bool> g_metrics_enabled{metrics_enabled_from_env()};
 
+namespace {
+std::atomic<std::size_t> g_next_ordinal{0};
+}  // namespace
+
 std::size_t thread_ordinal() {
-  static std::atomic<std::size_t> next{0};
   thread_local const std::size_t ordinal =
-      next.fetch_add(1, std::memory_order_relaxed);
+      g_next_ordinal.fetch_add(1, std::memory_order_relaxed);
   return ordinal;
 }
 
 }  // namespace internal
+
+std::size_t threads_seen() {
+  return internal::g_next_ordinal.load(std::memory_order_relaxed);
+}
 
 bool set_metrics_enabled(bool enabled) {
   return internal::g_metrics_enabled.exchange(enabled,

@@ -59,6 +59,12 @@ inline void atomic_fadd(std::atomic<double>& cell, double v) {
 }
 }  // namespace internal
 
+// Number of distinct threads that have touched the metrics/trace layer so
+// far (the high-water mark of the thread-ordinal allocator). Shard
+// utilisation observability only: the value depends on the resolved worker
+// counts, so it belongs in log lines — never in deterministic artifacts.
+std::size_t threads_seen();
+
 // True when instrumentation should record. One relaxed load + branch.
 inline bool metrics_enabled() {
   return internal::g_metrics_enabled.load(std::memory_order_relaxed);

@@ -50,6 +50,30 @@ std::size_t RunTelemetry::active_fallback_slots() const {
   return n;
 }
 
+void attach_reference(RunTelemetry& run, const RunTelemetry& reference) {
+  if (reference.slots.empty()) return;
+  run.has_reference = true;
+  run.offline_total_cost = reference.total_cost;
+  double cum_cost = 0.0;
+  double cum_offline = 0.0;
+  for (std::size_t t = 0; t < run.slots.size(); ++t) {
+    SlotTelemetry& slot = run.slots[t];
+    const bool in_ref = t < reference.slots.size();
+    const SlotTelemetry zero{};
+    const SlotTelemetry& ref = in_ref ? reference.slots[t] : zero;
+    slot.offline_cost = ref.cost_total();
+    slot.regret_operation = slot.cost_operation - ref.cost_operation;
+    slot.regret_service_quality =
+        slot.cost_service_quality - ref.cost_service_quality;
+    slot.regret_reconfiguration =
+        slot.cost_reconfiguration - ref.cost_reconfiguration;
+    slot.regret_migration = slot.cost_migration - ref.cost_migration;
+    cum_cost += slot.cost_total();
+    cum_offline += slot.offline_cost;
+    slot.ratio_cum = cum_offline > 0.0 ? cum_cost / cum_offline : 0.0;
+  }
+}
+
 void TelemetrySink::begin_run(std::string algorithm, std::size_t num_clouds,
                               std::size_t num_users, std::size_t num_slots) {
   run_ = RunTelemetry{};

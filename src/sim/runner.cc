@@ -1,12 +1,16 @@
 #include "sim/runner.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "algo/baselines.h"
 #include "algo/online_approx.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "io/serialize.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -42,7 +46,38 @@ namespace {
 struct RepState {
   model::Instance instance;
   double denominator = 0.0;
+  // The offline-opt per-slot cost trajectory — the reference each online
+  // run's competitive-ratio attribution is computed against.
+  obs::RunTelemetry offline_telemetry;
 };
+
+// Resolves the telemetry dump directory: an explicit option wins, else
+// ECA_TELEMETRY_DIR. Set-but-empty fail-fasts like every observability knob.
+std::string telemetry_dir_from(const ExperimentOptions& options) {
+  if (!options.telemetry_dir.empty()) return options.telemetry_dir;
+  const char* dir = std::getenv("ECA_TELEMETRY_DIR");
+  if (dir == nullptr) return "";
+  if (dir[0] == '\0') {
+    std::fprintf(stderr,
+                 "error: ECA_TELEMETRY_DIR is set but empty (must name an "
+                 "existing directory; unset it to disable)\n");
+    std::exit(2);
+  }
+  return dir;
+}
+
+void dump_telemetry(const std::string& dir, std::size_t rep,
+                    const std::string& algorithm,
+                    const obs::RunTelemetry& telemetry) {
+  if (dir.empty()) return;
+  const std::string path = dir + "/telemetry_rep" + std::to_string(rep) +
+                           "_" + algorithm + ".json";
+  if (!io::save_telemetry(path, telemetry)) {
+    std::fprintf(stderr, "error: cannot write telemetry to %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+}
 
 // Accumulates one (rep, algorithm) simulation into the summary exactly the
 // way the legacy serial loop did, so parallel and serial runs agree
@@ -75,6 +110,8 @@ ExperimentResult run_experiment_serial(
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
     result.algorithms[a].name = algorithms[a].name;
   }
+  const std::string telemetry_dir = telemetry_dir_from(options);
+  obs::EventLog* const events = obs::global_events();
   for (int rep = 0; rep < options.repetitions; ++rep) {
     const model::Instance instance = make_instance(rep);
     const algo::OfflineResult offline =
@@ -86,14 +123,22 @@ ExperimentResult run_experiment_serial(
     const double denominator = offline_scored.weighted_total;
     ECA_CHECK(denominator > 0.0, "offline optimum must be positive");
     result.offline_cost.add(denominator);
+    obs::emit_rep_begin(events, static_cast<std::size_t>(rep), denominator);
+    dump_telemetry(telemetry_dir, static_cast<std::size_t>(rep),
+                   "offline-opt", offline_scored.telemetry);
     if (options.verbose || log::enabled(log::Level::kInfo)) {
       log::emit(log::Level::kInfo, "rep %d: offline-opt cost %.4f", rep,
                 denominator);
     }
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
       algo::AlgorithmPtr algorithm = algorithms[a].make();
-      const SimulationResult sim = Simulator::run(instance, *algorithm);
+      SimulationResult sim = Simulator::run(instance, *algorithm);
+      obs::attach_reference(sim.telemetry, offline_scored.telemetry);
       accumulate(sim, denominator, result.algorithms[a]);
+      obs::emit_result(events, sim.algorithm, static_cast<std::size_t>(rep),
+                       sim.weighted_total, sim.weighted_total / denominator);
+      dump_telemetry(telemetry_dir, static_cast<std::size_t>(rep),
+                     sim.algorithm, sim.telemetry);
       if (options.verbose || log::enabled(log::Level::kInfo)) {
         log::emit(log::Level::kInfo,
                   "rep %d: %-14s cost %.4f ratio %.4f (%.2fs)", rep,
@@ -101,25 +146,20 @@ ExperimentResult run_experiment_serial(
                   sim.weighted_total / denominator, sim.wall_seconds);
       }
     }
+    obs::emit_rep_end(events, static_cast<std::size_t>(rep));
   }
   return result;
 }
 
-}  // namespace
-
-ExperimentResult run_experiment(
+ExperimentResult run_experiment_parallel(
     const std::function<model::Instance(int rep)>& make_instance,
     const std::vector<NamedFactory>& algorithms,
-    const ExperimentOptions& options) {
-  ECA_TRACE_SPAN("experiment");
-  const std::size_t threads = ThreadPool::resolve_threads(options.threads);
-  if (threads <= 1) {
-    return run_experiment_serial(make_instance, algorithms, options);
-  }
-
+    const ExperimentOptions& options, std::size_t threads) {
   const auto reps = static_cast<std::size_t>(
       options.repetitions > 0 ? options.repetitions : 0);
   const std::size_t num_algos = algorithms.size();
+  const std::string telemetry_dir = telemetry_dir_from(options);
+  obs::EventLog* const events = obs::global_events();
 
   // Phase 1: instance construction + offline optimum, parallel over reps.
   std::vector<RepState> rep_states(reps);
@@ -130,20 +170,24 @@ ExperimentResult run_experiment(
         algo::solve_offline(state.instance, options.offline);
     ECA_CHECK(offline.status == solve::SolveStatus::kOptimal,
               "offline LP failed: ", solve::to_string(offline.status));
-    const SimulationResult offline_scored =
+    SimulationResult offline_scored =
         Simulator::score(state.instance, "offline-opt", offline.allocations);
     state.denominator = offline_scored.weighted_total;
     ECA_CHECK(state.denominator > 0.0, "offline optimum must be positive");
+    state.offline_telemetry = std::move(offline_scored.telemetry);
   });
 
   // Phase 2: one task per (rep × algorithm) pair, each with a fresh
-  // algorithm object; results land in an index-addressed buffer.
+  // algorithm object; results land in an index-addressed buffer. Attaching
+  // the ratio attribution here is safe — it is pure per-task data.
   std::vector<SimulationResult> sims(reps * num_algos);
   ThreadPool::parallel_for(reps * num_algos, threads, [&](std::size_t task) {
     const std::size_t rep = task / num_algos;
     const std::size_t a = task % num_algos;
     algo::AlgorithmPtr algorithm = algorithms[a].make();
     sims[task] = Simulator::run(rep_states[rep].instance, *algorithm);
+    obs::attach_reference(sims[task].telemetry,
+                          rep_states[rep].offline_telemetry);
   });
 
   // Phase 3: deterministic merge in the legacy (rep-major, roster-order)
@@ -156,6 +200,9 @@ ExperimentResult run_experiment(
   for (std::size_t rep = 0; rep < reps; ++rep) {
     const double denominator = rep_states[rep].denominator;
     result.offline_cost.add(denominator);
+    obs::emit_rep_begin(events, rep, denominator);
+    dump_telemetry(telemetry_dir, rep, "offline-opt",
+                   rep_states[rep].offline_telemetry);
     if (options.verbose || log::enabled(log::Level::kInfo)) {
       log::emit(log::Level::kInfo, "rep %zu: offline-opt cost %.4f", rep,
                 denominator);
@@ -163,6 +210,9 @@ ExperimentResult run_experiment(
     for (std::size_t a = 0; a < num_algos; ++a) {
       const SimulationResult& sim = sims[rep * num_algos + a];
       accumulate(sim, denominator, result.algorithms[a]);
+      obs::emit_result(events, sim.algorithm, rep, sim.weighted_total,
+                       sim.weighted_total / denominator);
+      dump_telemetry(telemetry_dir, rep, sim.algorithm, sim.telemetry);
       if (options.verbose || log::enabled(log::Level::kInfo)) {
         log::emit(log::Level::kInfo,
                   "rep %zu: %-14s cost %.4f ratio %.4f (%.2fs)", rep,
@@ -170,6 +220,44 @@ ExperimentResult run_experiment(
                   sim.weighted_total / denominator, sim.wall_seconds);
       }
     }
+    obs::emit_rep_end(events, rep);
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(
+    const std::function<model::Instance(int rep)>& make_instance,
+    const std::vector<NamedFactory>& algorithms,
+    const ExperimentOptions& options) {
+  ECA_TRACE_SPAN("experiment");
+  obs::EventLog* const events = obs::global_events();
+  obs::emit_experiment_begin(events, options.repetitions, algorithms.size());
+  const std::size_t threads = ThreadPool::resolve_threads(options.threads);
+  ExperimentResult result =
+      threads <= 1
+          ? run_experiment_serial(make_instance, algorithms, options)
+          : run_experiment_parallel(make_instance, algorithms, options,
+                                    threads);
+  const std::size_t simulations =
+      static_cast<std::size_t>(options.repetitions > 0 ? options.repetitions
+                                                       : 0) *
+      algorithms.size();
+  obs::emit_experiment_end(events, simulations);
+  // Final observability summary: the shard high-water mark and the drop
+  // counters that previously vanished silently at process exit. threads_seen
+  // depends on resolved worker counts, so it belongs here (a log line) and
+  // never in the deterministic artifacts.
+  if (options.verbose || log::enabled(log::Level::kInfo)) {
+    obs::TraceSession* const trace = obs::global_trace();
+    log::emit(log::Level::kInfo,
+              "obs: threads_seen=%zu metric_shards=%zu trace_dropped=%zu "
+              "events_recorded=%zu events_dropped=%zu",
+              obs::threads_seen(), obs::kMetricShards,
+              trace != nullptr ? trace->dropped() : std::size_t{0},
+              events != nullptr ? events->recorded() : std::size_t{0},
+              events != nullptr ? events->dropped() : std::size_t{0});
   }
   return result;
 }

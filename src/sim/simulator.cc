@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/events.h"
 #include "obs/trace.h"
 
 namespace eca::sim {
@@ -27,8 +28,18 @@ SimulationResult Simulator::run(const Instance& instance,
 
   ECA_TRACE_SPAN("sim_run");
   const auto start = std::chrono::steady_clock::now();
+  // Event/trace drop deltas for this run (surfaced in telemetry v3). The
+  // counters are cumulative per process; the difference brackets the run.
+  obs::EventLog* const events = obs::global_events();
+  obs::TraceSession* const trace = obs::global_trace();
+  const std::size_t events_dropped_before =
+      events != nullptr ? events->dropped() : 0;
+  const std::size_t trace_dropped_before =
+      trace != nullptr ? trace->dropped() : 0;
   algorithm.reset(instance);
   const std::size_t num_slots = instance.num_slots;
+  obs::emit_run_begin(events, algorithm.name(), instance.num_clouds,
+                      instance.num_users, num_slots);
   AllocationSequence seq(num_slots);
   // Solver telemetry captured per decide (empty record for algorithms that
   // expose none); folded into the scored telemetry below. Index-addressed
@@ -66,6 +77,11 @@ SimulationResult Simulator::run(const Instance& instance,
                                    : ThreadPool::kDefaultBaselineMinWork;
   const std::size_t kBlock = algo::kBaselineWarmBlock;
   const std::size_t num_blocks = (num_slots + kBlock - 1) / kBlock;
+  // Engagement record carries the fan-out *policy inputs* only — the
+  // resolved worker count depends on ECA_BASELINE_THREADS and the host, so
+  // it must stay out of the deterministic event stream.
+  obs::emit_workers(events, "baseline_slots", work, min_work,
+                    algorithm.slot_separable() && num_slots > 1);
   std::size_t workers = ThreadPool::resolve_baseline_threads(
       options.baseline_threads, work, min_work, !options.oversubscribe);
   workers = std::min(workers, num_blocks);
@@ -129,6 +145,19 @@ SimulationResult Simulator::run(const Instance& instance,
       result.telemetry.slots[t].solve = solve_stats[t];
     }
   }
+  // Slot lifecycle events are emitted here — post-merge, on the driving
+  // thread, in ascending slot order — never from the slot workers above.
+  // This is what keeps the serialized stream bit-identical across
+  // ECA_BASELINE_THREADS / ECA_SLOT_THREADS values.
+  for (const obs::SlotTelemetry& st : result.telemetry.slots) {
+    obs::emit_slot(events, st.slot, st.cost_operation, st.cost_service_quality,
+                   st.cost_reconfiguration, st.cost_migration);
+  }
+  result.telemetry.events_dropped =
+      events != nullptr ? events->dropped() - events_dropped_before : 0;
+  result.telemetry.trace_dropped =
+      trace != nullptr ? trace->dropped() - trace_dropped_before : 0;
+  obs::emit_run_end(events, result.telemetry);
   return result;
 }
 

@@ -1,7 +1,8 @@
-// TelemetrySink / RunTelemetry accounting and the eca.telemetry.v2 JSON
-// emitted by io::write_telemetry. The Python side of the contract lives in
-// scripts/validate_telemetry.py, which check.sh runs on a real instrumented
-// trajectory; this test pins the C++ aggregation and serialization.
+// TelemetrySink / RunTelemetry accounting, attach_reference's ratio/regret
+// attribution, and the eca.telemetry.v3 JSON emitted by io::write_telemetry.
+// The Python side of the contract lives in scripts/validate_telemetry.py,
+// which check.sh runs on a real instrumented trajectory; this test pins the
+// C++ aggregation and serialization.
 #include <sstream>
 #include <string>
 
@@ -88,9 +89,14 @@ TEST(Telemetry, WriteTelemetryEmitsSchemaAndSlots) {
   std::ostringstream os;
   io::write_telemetry(os, run);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"eca.telemetry.v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"eca.telemetry.v3\""), std::string::npos);
   EXPECT_NE(json.find("\"algorithm\": \"online-approx\""), std::string::npos);
   EXPECT_NE(json.find("\"num_slots\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"has_reference\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"events_dropped\": 0"), std::string::npos);
+  // Without a reference the per-slot attribution fields are omitted.
+  EXPECT_EQ(json.find("\"ratio_cum\""), std::string::npos);
   EXPECT_NE(json.find("\"total_newton_iterations\": 23"), std::string::npos);
   EXPECT_NE(json.find("\"warm_started_slots\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"warm_fallback_slots\": 1"), std::string::npos);
@@ -115,6 +121,52 @@ TEST(Telemetry, WriteTelemetryEmitsSchemaAndSlots) {
     ++solves;
   }
   EXPECT_EQ(solves, 2u);
+}
+
+TEST(Telemetry, AttachReferenceFillsRatioAndRegret) {
+  RunTelemetry run = sample_run();  // slot costs 1.875, 2.875, 3.875
+  TelemetrySink ref_sink;
+  ref_sink.begin_run("offline-opt", 4, 10, 3);
+  for (std::size_t t = 0; t < 3; ++t) {
+    SlotTelemetry slot;
+    slot.slot = t;
+    slot.cost_operation = 1.0;
+    slot.cost_service_quality = 0.25;
+    slot.cost_reconfiguration = 0.125;
+    slot.cost_migration = 0.125;  // per-slot reference total 1.5
+    ref_sink.record_slot(slot);
+  }
+  const RunTelemetry reference = ref_sink.finish(4.5, 0.0);
+
+  attach_reference(run, reference);
+  EXPECT_TRUE(run.has_reference);
+  EXPECT_DOUBLE_EQ(run.offline_total_cost, 4.5);
+  EXPECT_DOUBLE_EQ(run.ratio(), run.total_cost / 4.5);
+  EXPECT_DOUBLE_EQ(run.slots[0].offline_cost, 1.5);
+  EXPECT_DOUBLE_EQ(run.slots[0].ratio_cum, 1.875 / 1.5);
+  EXPECT_DOUBLE_EQ(run.slots[1].ratio_cum, (1.875 + 2.875) / 3.0);
+  EXPECT_DOUBLE_EQ(run.slots[2].ratio_cum, (1.875 + 2.875 + 3.875) / 4.5);
+  // The regret split decomposes each slot's excess over the reference.
+  EXPECT_DOUBLE_EQ(run.slots[1].regret_operation, 2.0 - 1.0);
+  EXPECT_DOUBLE_EQ(run.slots[1].regret_service_quality, 0.5 - 0.25);
+  EXPECT_DOUBLE_EQ(run.slots[1].regret_total(),
+                   run.slots[1].cost_total() - 1.5);
+
+  // The serialized form now carries the attribution fields.
+  std::ostringstream os;
+  io::write_telemetry(os, run);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"has_reference\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"offline_total_cost\": 4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"ratio_cum\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"regret_operation\":2"), std::string::npos);
+}
+
+TEST(Telemetry, AttachReferenceIgnoresEmptyReference) {
+  RunTelemetry run = sample_run();
+  attach_reference(run, RunTelemetry{});
+  EXPECT_FALSE(run.has_reference);
+  EXPECT_EQ(run.ratio(), 0.0);
 }
 
 TEST(Telemetry, WriteTelemetryEscapesAlgorithmName) {
