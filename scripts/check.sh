@@ -79,8 +79,21 @@ ECA_METRICS=on ECA_BASELINE_MAX_USERS=32 ECA_BASELINE_SLOTS=8 \
   ECA_BENCH_BASELINES_JSON=build/BENCH_baselines.quick.json \
   ./build/bench/bench_baselines
 
-echo "== perf guard: active-set + adaptive-granularity + LP-thread + baseline gates =="
+echo "== bench: user-class aggregation sweep (quick mode) =="
+# Small sweep with a miniature long leg: exercises the aggregated vs
+# per-user legs, the streaming-parity cross-check and the long-run RSS
+# accounting end to end (the committed BENCH file is regenerated
+# separately at full scale, where the >= 2x speedup and >= 10x collapse
+# gates actually engage).
+ECA_SCALE_MIN_USERS=200 ECA_SCALE_MAX_USERS=2000 ECA_SCALE_SLOTS=4 \
+  ECA_SCALE_PER_USER_MAX=2000 ECA_SCALE_PARITY_MAX=400 \
+  ECA_SCALE_LONG_USERS=20000 ECA_SCALE_LONG_SLOTS=10 \
+  ECA_BENCH_SCALE_JSON=build/BENCH_scale.quick.json \
+  ./build/bench/bench_scale
+
+echo "== perf guard: active-set + adaptive-granularity + LP-thread + baseline + aggregation gates =="
 python3 scripts/perf_guard.py build/BENCH_solvers.quick.json \
-  build/BENCH_offline.quick.json build/BENCH_baselines.quick.json
+  build/BENCH_offline.quick.json build/BENCH_baselines.quick.json \
+  build/BENCH_scale.quick.json
 
 echo "== check.sh: all gates passed =="

@@ -52,7 +52,26 @@ eca.bench_baselines.v1 (baseline-evaluation sweep):
     optimal vertex, but the evaluated cost must stay in the same ballpark;
   * max_violation above 1e-5 — the optimized path must stay feasible.
 
-All three schemas additionally carry an "events_overhead" block (best-of-N
+eca.bench_scale.v1 (user-class aggregation sweep):
+
+  * any streaming-parity cross-check failure — the streaming class-space
+    driver must match the materializing simulator running the same
+    aggregated algorithm to summation order (they perform bitwise-identical
+    solves);
+  * cost_delta_rel above 1e-5 wherever the per-user leg ran — P2 is
+    strictly convex, so the collapsed and per-user paths share a unique
+    optimum and may differ only by solver tolerance;
+  * max_violation above 1e-5 on any point or the long run;
+  * at J >= 100000 where the per-user leg ran: collapse_ratio >= 10 and
+    aggregated speedup >= 2.0 (wall-gated only when the per-user leg is
+    above the noise floor). On quick-mode runs with no such point a note
+    is printed; the committed BENCH_scale.json carries the full-scale
+    evidence;
+  * the long run (when present) must stay under the 16 GB peak-RSS budget
+    — the streaming representation is the reason a 10^6-user, 60-slot
+    trajectory fits.
+
+All schemas additionally carry an "events_overhead" block (best-of-N
 wall time for a representative simulation with event streaming off vs. on,
 buffer-only) and a provenance "meta" block; the shared gate requires the
 events-on leg within 2% of events-off. Quick-mode timings below 10 ms are
@@ -213,10 +232,75 @@ def check_baselines(path, bench):
           f"gate, {scale_gated} under the at-scale parity gate)")
 
 
+SCALE_GATE_USERS = 100000
+MIN_SCALE_COLLAPSE = 10.0
+MIN_SCALE_SPEEDUP = 2.0
+MAX_SCALE_COST_DELTA = 1e-5
+MAX_SCALE_RSS_MB = 16384.0
+
+
+def check_scale(path, bench):
+    points = bench.get("points", [])
+    if not points:
+        fail(f"{path}: no sweep points")
+    parity_checked = exact_checked = scale_gated = 0
+    for point in points:
+        where = f"{path}: J={point['users']} T={point['slots']}"
+        if point["max_violation"] > MAX_VIOLATION:
+            fail(f"{where}: max_violation {point['max_violation']:.3e} > "
+                 f"{MAX_VIOLATION} — the aggregated path left feasibility")
+        if point["parity_checked"]:
+            parity_checked += 1
+            if not point["streaming_parity"]:
+                fail(f"{where}: streaming_parity=false — the streaming "
+                     "driver diverged from the materializing simulator "
+                     "beyond summation-order tolerance")
+        if point["has_per_user"]:
+            exact_checked += 1
+            if point["cost_delta_rel"] > MAX_SCALE_COST_DELTA:
+                fail(f"{where}: cost_delta_rel "
+                     f"{point['cost_delta_rel']:.3e} > "
+                     f"{MAX_SCALE_COST_DELTA} — collapsed and per-user "
+                     "solves must share P2's unique optimum")
+            if point["users"] >= SCALE_GATE_USERS:
+                scale_gated += 1
+                if point["collapse_ratio"] < MIN_SCALE_COLLAPSE:
+                    fail(f"{where}: collapse_ratio "
+                         f"{point['collapse_ratio']:.2f} < "
+                         f"{MIN_SCALE_COLLAPSE} — class aggregation "
+                         "stopped collapsing at the scale it exists for")
+                if (point["seconds_per_user"] >= MIN_GATEABLE_SECONDS
+                        and point["speedup"] < MIN_SCALE_SPEEDUP):
+                    fail(f"{where}: aggregated speedup "
+                         f"{point['speedup']:.2f} < {MIN_SCALE_SPEEDUP} "
+                         "over the per-user path at gate scale")
+    long_run = bench.get("long_run")
+    if long_run is not None:
+        where = f"{path}: long run J={long_run['users']} T={long_run['slots']}"
+        if long_run["max_violation"] > MAX_VIOLATION:
+            fail(f"{where}: max_violation {long_run['max_violation']:.3e} > "
+                 f"{MAX_VIOLATION}")
+        if long_run["peak_rss_mb"] > MAX_SCALE_RSS_MB:
+            fail(f"{where}: peak RSS {long_run['peak_rss_mb']:.0f} MB > "
+                 f"{MAX_SCALE_RSS_MB:.0f} MB — the streaming representation "
+                 "must keep the long trajectory in budget")
+    else:
+        print(f"perf_guard: note: {path}: no long run (disabled); "
+              "memory-budget gate not exercised")
+    if scale_gated == 0:
+        print(f"perf_guard: note: {path}: no per-user point with J >= "
+              f"{SCALE_GATE_USERS} (quick-mode scale); speedup/collapse "
+              "gates not exercised")
+    print(f"perf_guard: OK: {path}: {len(points)} scale points "
+          f"({exact_checked} cross-checked, {parity_checked} parity-checked, "
+          f"{scale_gated} under the at-scale gate)")
+
+
 CHECKS = {
     "eca.bench_solvers.v3": check_solvers,
     "eca.bench_offline.v1": check_offline,
     "eca.bench_baselines.v1": check_baselines,
+    "eca.bench_scale.v1": check_scale,
 }
 
 

@@ -1,0 +1,88 @@
+#include "agg/user_classes.h"
+
+#include "common/check.h"
+
+namespace eca::agg {
+
+using detail::bits_of;
+using detail::hash_combine;
+
+ClassPartition build_static_classes(const model::Instance& instance,
+                                    std::size_t t) {
+  ECA_CHECK(t < instance.num_slots);
+  const std::vector<std::size_t>& attachment = instance.attachment[t];
+  const model::Vec& demand = instance.demand;
+  return group_users(
+      instance.num_users,
+      [&](std::size_t j) {
+        return hash_combine(bits_of(demand[j]), attachment[j]);
+      },
+      [&](std::size_t a, std::size_t b) {
+        return bits_of(demand[a]) == bits_of(demand[b]) &&
+               attachment[a] == attachment[b];
+      });
+}
+
+ClassPartition build_slot_classes(const model::Instance& instance,
+                                  std::size_t t,
+                                  const model::Allocation& previous) {
+  ECA_CHECK(t < instance.num_slots);
+  const std::size_t kI = instance.num_clouds;
+  const std::size_t kJ = instance.num_users;
+  const bool has_prev = !previous.x.empty();
+  ECA_CHECK(!has_prev || (previous.num_clouds == kI &&
+                          previous.num_users == kJ),
+            "previous allocation has the wrong shape");
+  const std::vector<std::size_t>& attachment = instance.attachment[t];
+  const model::Vec& demand = instance.demand;
+  return group_users(
+      instance.num_users,
+      [&](std::size_t j) {
+        std::uint64_t h = hash_combine(bits_of(demand[j]), attachment[j]);
+        if (has_prev) {
+          for (std::size_t i = 0; i < kI; ++i) {
+            h = hash_combine(h, bits_of(previous.at(i, j)));
+          }
+        }
+        return h;
+      },
+      [&](std::size_t a, std::size_t b) {
+        if (bits_of(demand[a]) != bits_of(demand[b]) ||
+            attachment[a] != attachment[b]) {
+          return false;
+        }
+        if (has_prev) {
+          for (std::size_t i = 0; i < kI; ++i) {
+            if (bits_of(previous.at(i, a)) != bits_of(previous.at(i, b))) {
+              return false;
+            }
+          }
+        }
+        return true;
+      });
+}
+
+ClassPartition build_horizon_classes(const model::Instance& instance) {
+  const std::size_t kT = instance.num_slots;
+  const model::Vec& demand = instance.demand;
+  return group_users(
+      instance.num_users,
+      [&](std::size_t j) {
+        std::uint64_t h = bits_of(demand[j]);
+        for (std::size_t t = 0; t < kT; ++t) {
+          h = hash_combine(h, instance.attachment[t][j]);
+        }
+        return h;
+      },
+      [&](std::size_t a, std::size_t b) {
+        if (bits_of(demand[a]) != bits_of(demand[b])) return false;
+        for (std::size_t t = 0; t < kT; ++t) {
+          if (instance.attachment[t][a] != instance.attachment[t][b]) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
+}  // namespace eca::agg

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "agg/aggregate.h"
 #include "algo/slot_lp.h"
 #include "common/check.h"
 #include "common/log.h"
@@ -60,7 +61,7 @@ solve::LpSolution solve_or_die(const solve::LpProblem& lp, const char* who,
 void AtomisticAlgorithm::reset(const Instance& instance) {
   last_t_ = -1;
   has_anchor_ = false;
-  if (options_.reuse_skeleton) {
+  if (options_.reuse_skeleton && !options_.aggregate_users) {
     skeleton_.emplace(instance, include_operation_, include_service_quality_);
   } else {
     skeleton_.reset();
@@ -69,6 +70,16 @@ void AtomisticAlgorithm::reset(const Instance& instance) {
 
 Allocation AtomisticAlgorithm::decide(const Instance& instance, std::size_t t,
                                       const Allocation& /*previous*/) {
+  if (options_.aggregate_users) {
+    // Class-collapsed slot LP over (λ, l_{j,t}) classes: from-scratch build
+    // and cold solve — the LP has at most I·Λ columns, so skeletons and
+    // warm chains have nothing left to amortize (see BaselineOptions).
+    const agg::ClassPartition part = agg::build_static_classes(instance, t);
+    const solve::LpProblem lp = agg::build_collapsed_static_lp(
+        instance, t, part, include_operation_, include_service_quality_);
+    const solve::LpSolution sol = solve_or_die(lp, name_.c_str(), t);
+    return agg::expand_static(instance, part, sol.x);
+  }
   if (!options_.reuse_skeleton) {
     // Legacy path: from-scratch build, cold solve. The baseline bench uses
     // this as its rebuild+cold reference leg.
@@ -162,6 +173,14 @@ Allocation OnlineGreedy::decide(const Instance& instance, std::size_t t,
 }
 
 void StaticOnce::reset(const Instance& instance) {
+  if (options_.aggregate_users) {
+    const agg::ClassPartition part = agg::build_static_classes(instance, 0);
+    const solve::LpProblem lp =
+        agg::build_collapsed_static_lp(instance, 0, part, true, true);
+    const solve::LpSolution sol = solve_or_die(lp, "static-once", 0);
+    fixed_ = agg::expand_static(instance, part, sol.x);
+    return;
+  }
   const StaticSlotLp built = build_static_slot_lp(instance, 0, true, true);
   const solve::LpSolution sol = solve_or_die(built.lp, "static-once", 0);
   fixed_ = extract_static(instance, sol.x);
@@ -176,7 +195,7 @@ Allocation StaticOnce::decide(const Instance& instance, std::size_t /*t*/,
 }
 
 AlgorithmPtr StaticOnce::clone_for_slots() const {
-  auto clone = std::make_unique<StaticOnce>();
+  auto clone = std::make_unique<StaticOnce>(options_);
   clone->fixed_ = fixed_;
   return clone;
 }

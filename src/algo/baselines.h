@@ -47,6 +47,18 @@ struct BaselineOptions {
   // engagement policy here, the cap depends only on the instance shape,
   // so thread count never changes results. 0 disables warm starts.
   std::size_t warm_max_users = 512;
+  // Solve the static slot LPs over (λ_j, l_{j,t}) user classes instead of
+  // users (agg/aggregate.h): the class count is bounded by I·Λ for the
+  // whole run regardless of J, so the LP shrinks from I·J to I·C columns.
+  // Members of a class receive bitwise-identical expanded allocations and
+  // the cost matches the per-user path to solver tolerance. The collapsed
+  // LP's shape varies per slot (classes come and go with the attachments),
+  // so this path builds from scratch and solves cold — the skeleton/warm
+  // machinery above is per-user-shape-bound and is bypassed; at class
+  // scale the solve is too small for it to matter. OnlineGreedy stays
+  // per-user: its s/w split depends on the previous decision per user and
+  // is already covered by the P2 aggregation story.
+  bool aggregate_users = false;
 };
 
 // Shared implementation for the three atomistic baselines. Slot-separable:
@@ -137,6 +149,10 @@ class OnlineGreedy final : public OnlineAlgorithm {
 
 class StaticOnce final : public OnlineAlgorithm {
  public:
+  // Only BaselineOptions::aggregate_users is consulted — static-once solves
+  // one LP per run, so the skeleton/warm knobs have nothing to optimize.
+  explicit StaticOnce(BaselineOptions options = {}) : options_(options) {}
+
   [[nodiscard]] std::string name() const override { return "static-once"; }
   void reset(const Instance& instance) override;
   [[nodiscard]] Allocation decide(const Instance& instance, std::size_t t,
@@ -146,6 +162,7 @@ class StaticOnce final : public OnlineAlgorithm {
   [[nodiscard]] AlgorithmPtr clone_for_slots() const override;
 
  private:
+  BaselineOptions options_;
   Allocation fixed_;
 };
 

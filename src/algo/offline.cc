@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "agg/aggregate.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "solve/ipm_lp.h"
@@ -115,7 +116,17 @@ OfflineResult solve_offline(const model::Instance& instance,
                             const OfflineOptions& options) {
   const std::string instance_error = instance.validate();
   ECA_CHECK(instance_error.empty(), instance_error);
-  const solve::LpProblem lp = build_offline_lp(instance);
+  // Horizon-class column aggregation: same time-staircase structure (and
+  // row_block_starts hints) with J replaced by the class count, so both
+  // solvers and their parallel row partitioning work unchanged.
+  agg::ClassPartition part;
+  if (options.aggregate_users) {
+    part = agg::build_horizon_classes(instance);
+  }
+  const solve::LpProblem lp = options.aggregate_users
+                                  ? agg::build_collapsed_offline_lp(instance,
+                                                                    part)
+                                  : build_offline_lp(instance);
 
   OfflineResult result;
   solve::LpSolution sol;
@@ -166,6 +177,10 @@ OfflineResult solve_offline(const model::Instance& instance,
   result.objective_value = sol.objective_value;
   if (sol.status != solve::SolveStatus::kOptimal) return result;
 
+  if (options.aggregate_users) {
+    result.allocations = agg::expand_offline(instance, part, sol.x);
+    return result;
+  }
   const std::size_t kI = instance.num_clouds;
   const std::size_t kJ = instance.num_users;
   result.allocations.assign(instance.num_slots, model::Allocation(kI, kJ));

@@ -36,6 +36,15 @@ struct OfflineOptions {
   // small LPs / small machines. Leave at defaults in production.
   bool lp_oversubscribe = false;
   std::size_t lp_min_nnz_per_thread = 32768;
+  // Aggregate users into horizon classes (λ_j, full attachment trajectory)
+  // and solve the column-collapsed LP (agg/aggregate.h) before expanding
+  // back to per-user allocations. Exact: members of a horizon class share
+  // every coefficient across all T slots, so the collapsed optimum is the
+  // symmetric per-user optimum with y = w·x. The LP shrinks from
+  // T·(I·J + J + 2·I) rows to T·(I·C + C + 2·I), which moves the IPM/PDHG
+  // crossover and large-J tractability by orders of magnitude when
+  // mobility traces revisit (demand, trajectory) types.
+  bool aggregate_users = false;
   bool verbose = false;
 };
 

@@ -1,5 +1,8 @@
 #include "algo/online_approx.h"
 
+#include <cmath>
+
+#include "agg/aggregate.h"
 #include "common/check.h"
 #include "model/costs.h"
 #include "obs/events.h"
@@ -86,12 +89,59 @@ Allocation OnlineApprox::decide(const Instance& instance, std::size_t t,
                                 const Allocation& previous) {
   obs::TraceSpan span(obs::global_trace(), "slot_decide");
   span.set_arg("t", static_cast<double>(t));
-  const solve::RegularizedProblem p = build_subproblem(instance, t, previous);
-  const solve::RegularizedSolution sol =
-      solve::RegularizedSolver(options_.solver).solve(p, workspace_);
-  ECA_CHECK(sol.status == solve::SolveStatus::kOptimal,
-            "P2 subproblem failed at slot ", t, ": ",
-            solve::to_string(sol.status));
+  solve::RegularizedSolution sol;
+  if (options_.aggregate_users) {
+    // Class-collapsed P2: partition on (λ, l_{j,t}, previous column), solve
+    // over class totals y = w·x, expand x = y/w and the duals (θ_j = θ'_c,
+    // δ_ij = δ'_ic — the collapsed stationarity equation is the per-member
+    // one, so the expanded duals feed the certificate unchanged). When the
+    // class count changes across slots the workspace resize() drops the
+    // carried duals automatically; a stale-but-same-shape correspondence
+    // only costs warm-start quality, never correctness.
+    const agg::ClassPartition part =
+        agg::build_slot_classes(instance, t, previous);
+    last_num_classes_ = part.num_classes;
+    const std::size_t kI = instance.num_clouds;
+    const std::size_t kC = part.num_classes;
+    linalg::Vec member_prev(kI * kC, 0.0);
+    if (!previous.x.empty()) {
+      for (std::size_t c = 0; c < kC; ++c) {
+        const std::size_t rep = part.representative[c];
+        for (std::size_t i = 0; i < kI; ++i) {
+          member_prev[i * kC + c] = previous.at(i, rep);
+        }
+      }
+    }
+    const agg::SubproblemParams params{
+        options_.eps1, options_.eps2, options_.enforce_capacity,
+        options_.use_reconfiguration_regularizer,
+        options_.use_migration_regularizer};
+    const solve::RegularizedProblem p = agg::build_collapsed_subproblem(
+        instance, t, part, member_prev, params);
+    const solve::RegularizedSolution csol =
+        solve::RegularizedSolver(options_.solver).solve(p, workspace_);
+    ECA_CHECK(csol.status == solve::SolveStatus::kOptimal,
+              "collapsed P2 subproblem failed at slot ", t, " (", kC,
+              " classes): ", solve::to_string(csol.status));
+    sol = agg::expand_solution(csol, part, kI);
+    // Canonicalize the played decision onto the quantum grid (class members
+    // share y/w bitwise, so they snap to the same grid point and the
+    // partition of the *next* slot sees class-constant columns). See the
+    // OnlineApproxOptions::decision_quantum comment for why this is what
+    // makes classes re-merge instead of fragmenting.
+    if (options_.decision_quantum > 0.0) {
+      const double q = options_.decision_quantum;
+      for (double& v : sol.x) v = std::round(v / q) * q;
+    }
+  } else {
+    last_num_classes_ = instance.num_users;
+    const solve::RegularizedProblem p =
+        build_subproblem(instance, t, previous);
+    sol = solve::RegularizedSolver(options_.solver).solve(p, workspace_);
+    ECA_CHECK(sol.status == solve::SolveStatus::kOptimal,
+              "P2 subproblem failed at slot ", t, ": ",
+              solve::to_string(sol.status));
+  }
   certificate_.add_slot(instance, t, sol);
   Allocation alloc(instance.num_clouds, instance.num_users);
   alloc.x = sol.x;

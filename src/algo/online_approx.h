@@ -5,6 +5,7 @@
 // plays its optimum.
 #pragma once
 
+#include "agg/user_classes.h"
 #include "algo/algorithm.h"
 #include "algo/certificate.h"
 #include "solve/regularized_solver.h"
@@ -21,6 +22,28 @@ struct OnlineApproxOptions {
   // static optimization in disguise).
   bool use_reconfiguration_regularizer = true;
   bool use_migration_regularizer = true;
+  // Solve each slot's P2 over user equivalence classes instead of users:
+  // partition on (λ_j, l_{j,t}, previous column), collapse through
+  // y_c = w_c·x (agg/aggregate.h), solve the C-user problem and expand.
+  // Mathematically identical (DESIGN.md §12) — costs match the per-user
+  // path to solver tolerance, and with all-singleton classes the solve is
+  // bit-identical — while the per-slot Newton work drops from O(I·J) to
+  // O(I·C) plus an O(I·J) partition/expansion pass.
+  bool aggregate_users = false;
+  // Canonicalization grid for the played decision (0 = off; only read when
+  // aggregate_users is set). When > 0, the expanded allocation is snapped
+  // to multiples of this quantum — a coarser form of the simulator's 1e-9
+  // dust rounding and, like it, part of the algorithm's output. It makes
+  // the previous-allocation profile that keys the next slot's partition
+  // canonical: profiles differing only below the grid re-merge instead of
+  // fragmenting on solver low bits. Measured honestly (J=3000 random walk,
+  // T=15): the effect is modest (~12% fewer classes at q=1e-6) because P2's
+  // migration regularizer retains history at O(1) magnitude — class counts
+  // are governed by the number of distinct (λ, trajectory-prefix) types,
+  // which is J-independent but grows with T (see DESIGN.md §12). The grid
+  // perturbs each demand row by up to I·q/2, so keep q ≤ 1e-6 if the
+  // run must stay under the repo's 1e-5 feasibility tolerance.
+  double decision_quantum = 0.0;
   solve::RegularizedOptions solver;
 };
 
@@ -54,9 +77,16 @@ class OnlineApprox final : public OnlineAlgorithm {
     return has_last_stats_ ? &last_stats_ : nullptr;
   }
 
+  // Class count of the most recent aggregated decide() (= num_users when
+  // aggregation is off or before the first decide).
+  [[nodiscard]] std::size_t last_num_classes() const {
+    return last_num_classes_;
+  }
+
  private:
   OnlineApproxOptions options_;
   DualCertificate certificate_;
+  std::size_t last_num_classes_ = 0;
   // Scratch reused across slots: every per-slot P2 has the same shape, so
   // after slot 0 the solver runs without heap allocation in its Newton loop.
   solve::NewtonWorkspace workspace_;

@@ -42,14 +42,20 @@ bool read_value(std::istream& is, T& out, std::string* error,
 
 void write_trace(std::ostream& os, const mobility::MobilityTrace& trace) {
   set_precision(os);
+  // The v1 format interleaves an attachment row and a position row per
+  // slot; position-free traces (retain_positions=false) write station
+  // placeholders of 0,0 — they are a scoring-only representation and lose
+  // nothing the solvers consume.
   os << "eca-trace v1\n" << trace.num_slots << ' ' << trace.num_users << '\n';
   for (std::size_t t = 0; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      os << trace.attachment[t][j] << (j + 1 < trace.num_users ? ' ' : '\n');
+      os << trace.attachment_at(t, j)
+         << (j + 1 < trace.num_users ? ' ' : '\n');
     }
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      os << trace.position[t][j].latitude_deg << ','
-         << trace.position[t][j].longitude_deg
+      const geo::GeoPoint p =
+          trace.has_positions() ? trace.position_at(t, j) : geo::GeoPoint{};
+      os << p.latitude_deg << ',' << p.longitude_deg
          << (j + 1 < trace.num_users ? ' ' : '\n');
     }
     if (trace.num_users == 0) os << '\n' << '\n';
@@ -68,14 +74,11 @@ std::optional<mobility::MobilityTrace> read_trace(std::istream& is,
     fail(error, "implausible trace dimensions");
     return std::nullopt;
   }
-  trace.attachment.assign(trace.num_slots,
-                          std::vector<std::size_t>(trace.num_users, 0));
-  trace.position.assign(
-      trace.num_slots,
-      std::vector<geo::GeoPoint>(trace.num_users, geo::GeoPoint{}));
+  trace.attachment.assign(trace.num_slots * trace.num_users, 0);
+  trace.position.assign(trace.num_slots * trace.num_users, geo::GeoPoint{});
   for (std::size_t t = 0; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      if (!read_value(is, trace.attachment[t][j], error, "attachment")) {
+      if (!read_value(is, trace.attachment_at(t, j), error, "attachment")) {
         return std::nullopt;
       }
     }
@@ -91,8 +94,9 @@ std::optional<mobility::MobilityTrace> read_trace(std::istream& is,
         return std::nullopt;
       }
       try {
-        trace.position[t][j].latitude_deg = std::stod(token.substr(0, comma));
-        trace.position[t][j].longitude_deg =
+        trace.position_at(t, j).latitude_deg =
+            std::stod(token.substr(0, comma));
+        trace.position_at(t, j).longitude_deg =
             std::stod(token.substr(comma + 1));
       } catch (const std::exception&) {
         fail(error, "unparsable position token '" + token + "'");

@@ -9,16 +9,12 @@ namespace eca::mobility {
 std::vector<double> MobilityTrace::attachment_frequency(
     std::size_t num_clouds) const {
   std::vector<double> freq(num_clouds, 0.0);
-  std::size_t total = 0;
-  for (const auto& slot : attachment) {
-    for (std::size_t cloud : slot) {
-      ECA_CHECK(cloud < num_clouds, "attachment index out of range");
-      freq[cloud] += 1.0;
-      ++total;
-    }
+  for (std::size_t cloud : attachment) {
+    ECA_CHECK(cloud < num_clouds, "attachment index out of range");
+    freq[cloud] += 1.0;
   }
-  if (total > 0) {
-    for (auto& f : freq) f /= static_cast<double>(total);
+  if (!attachment.empty()) {
+    for (auto& f : freq) f /= static_cast<double>(attachment.size());
   }
   return freq;
 }
@@ -27,8 +23,10 @@ double MobilityTrace::handover_rate() const {
   if (num_slots < 2 || num_users == 0) return 0.0;
   std::size_t changes = 0;
   for (std::size_t t = 1; t < num_slots; ++t) {
+    const std::size_t* prev = attachment.data() + (t - 1) * num_users;
+    const std::size_t* cur = attachment.data() + t * num_users;
     for (std::size_t j = 0; j < num_users; ++j) {
-      if (attachment[t][j] != attachment[t - 1][j]) ++changes;
+      if (cur[j] != prev[j]) ++changes;
     }
   }
   return static_cast<double>(changes) /
@@ -37,21 +35,24 @@ double MobilityTrace::handover_rate() const {
 
 namespace {
 
-MobilityTrace make_empty_trace(std::size_t num_users, std::size_t num_slots) {
+MobilityTrace make_empty_trace(std::size_t num_users, std::size_t num_slots,
+                               const TraceOptions& layout) {
   MobilityTrace trace;
   trace.num_slots = num_slots;
   trace.num_users = num_users;
-  trace.attachment.assign(num_slots, std::vector<std::size_t>(num_users, 0));
-  trace.position.assign(num_slots,
-                        std::vector<geo::GeoPoint>(num_users, geo::GeoPoint{}));
+  trace.attachment.assign(num_slots * num_users, 0);
+  if (layout.retain_positions) {
+    trace.position.assign(num_slots * num_users, geo::GeoPoint{});
+  }
   return trace;
 }
 
 }  // namespace
 
 MobilityTrace RandomWalkMobility::generate(Rng& rng, std::size_t num_users,
-                                           std::size_t num_slots) const {
-  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+                                           std::size_t num_slots,
+                                           const TraceOptions& layout) const {
+  MobilityTrace trace = make_empty_trace(num_users, num_slots, layout);
   std::vector<std::size_t> station(num_users);
   for (std::size_t j = 0; j < num_users; ++j) {
     station[j] = rng.uniform_index(network_.size());
@@ -66,16 +67,19 @@ MobilityTrace RandomWalkMobility::generate(Rng& rng, std::size_t num_users,
         const std::size_t choice = rng.uniform_index(neigh.size() + 1);
         if (choice < neigh.size()) station[j] = neigh[choice];
       }
-      trace.attachment[t][j] = station[j];
-      trace.position[t][j] = network_.station(station[j]).position;
+      trace.attachment_at(t, j) = station[j];
+      if (trace.has_positions()) {
+        trace.position_at(t, j) = network_.station(station[j]).position;
+      }
     }
   }
   return trace;
 }
 
 MobilityTrace TaxiMobility::generate(Rng& rng, std::size_t num_users,
-                                     std::size_t num_slots) const {
-  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+                                     std::size_t num_slots,
+                                     const TraceOptions& layout) const {
+  MobilityTrace trace = make_empty_trace(num_users, num_slots, layout);
   const geo::BoundingBox box = network_.bounding_box(options_.bbox_margin_km);
   auto random_point = [&rng, &box] {
     return geo::GeoPoint{
@@ -103,30 +107,34 @@ MobilityTrace TaxiMobility::generate(Rng& rng, std::size_t num_users,
               rng.uniform(options_.min_speed_kmh, options_.max_speed_kmh);
         }
       }
-      trace.position[t][j] = position[j];
-      trace.attachment[t][j] = network_.nearest_station(position[j]);
+      if (trace.has_positions()) trace.position_at(t, j) = position[j];
+      trace.attachment_at(t, j) = network_.nearest_station(position[j]);
     }
   }
   return trace;
 }
 
 MobilityTrace StationaryMobility::generate(Rng& rng, std::size_t num_users,
-                                           std::size_t num_slots) const {
-  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+                                           std::size_t num_slots,
+                                           const TraceOptions& layout) const {
+  MobilityTrace trace = make_empty_trace(num_users, num_slots, layout);
   for (std::size_t j = 0; j < num_users; ++j) {
     const std::size_t station = rng.uniform_index(network_.size());
     for (std::size_t t = 0; t < num_slots; ++t) {
-      trace.attachment[t][j] = station;
-      trace.position[t][j] = network_.station(station).position;
+      trace.attachment_at(t, j) = station;
+      if (trace.has_positions()) {
+        trace.position_at(t, j) = network_.station(station).position;
+      }
     }
   }
   return trace;
 }
 
 MobilityTrace CommuterMobility::generate(Rng& rng, std::size_t num_users,
-                                         std::size_t num_slots) const {
+                                         std::size_t num_slots,
+                                         const TraceOptions& layout) const {
   ECA_CHECK(options_.hub < network_.size());
-  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+  MobilityTrace trace = make_empty_trace(num_users, num_slots, layout);
   std::vector<std::size_t> home(num_users);
   std::vector<std::size_t> station(num_users);
   for (std::size_t j = 0; j < num_users; ++j) {
@@ -161,23 +169,28 @@ MobilityTrace CommuterMobility::generate(Rng& rng, std::size_t num_users,
         station[j] =
             step_towards(station[j], morning ? options_.hub : home[j]);
       }
-      trace.attachment[t][j] = station[j];
-      trace.position[t][j] = network_.station(station[j]).position;
+      trace.attachment_at(t, j) = station[j];
+      if (trace.has_positions()) {
+        trace.position_at(t, j) = network_.station(station[j]).position;
+      }
     }
   }
   return trace;
 }
 
 MobilityTrace PingPongMobility::generate(Rng& /*rng*/, std::size_t num_users,
-                                         std::size_t num_slots) const {
+                                         std::size_t num_slots,
+                                         const TraceOptions& layout) const {
   ECA_CHECK(a_ < network_.size() && b_ < network_.size());
   ECA_CHECK(period_ >= 1);
-  MobilityTrace trace = make_empty_trace(num_users, num_slots);
+  MobilityTrace trace = make_empty_trace(num_users, num_slots, layout);
   for (std::size_t t = 0; t < num_slots; ++t) {
     const std::size_t station = (t / period_) % 2 == 0 ? a_ : b_;
     for (std::size_t j = 0; j < num_users; ++j) {
-      trace.attachment[t][j] = station;
-      trace.position[t][j] = network_.station(station).position;
+      trace.attachment_at(t, j) = station;
+      if (trace.has_positions()) {
+        trace.position_at(t, j) = network_.station(station).position;
+      }
     }
   }
   return trace;

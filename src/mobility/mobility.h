@@ -25,13 +25,42 @@
 
 namespace eca::mobility {
 
+// Generation-time layout options. Positions are pure overhead for
+// scoring-only runs (the scenario builder derives access delays from them,
+// but attachments alone drive every solver) and at J = 10^6, T = 60 they
+// cost ~1 GB — retain_positions=false skips storing them entirely.
+struct TraceOptions {
+  bool retain_positions = true;
+};
+
 struct MobilityTrace {
   std::size_t num_slots = 0;
   std::size_t num_users = 0;
-  // attachment[t][j] = index of the edge cloud user j connects to in slot t.
-  std::vector<std::vector<std::size_t>> attachment;
-  // position[t][j] = GPS position of user j in slot t.
-  std::vector<std::vector<geo::GeoPoint>> position;
+  // Flat row-major storage: slot t's users occupy [t*num_users,
+  // (t+1)*num_users). One allocation instead of T inner vectors — at
+  // million-user scale the nested layout's per-slot indirection and
+  // allocator overhead dominate trace construction.
+  // attachment_at(t, j) = index of the cloud user j connects to in slot t.
+  std::vector<std::size_t> attachment;  // size num_slots * num_users
+  // position_at(t, j) = GPS position of user j in slot t. Empty when the
+  // trace was generated with retain_positions=false.
+  std::vector<geo::GeoPoint> position;  // size num_slots * num_users or 0
+
+  [[nodiscard]] std::size_t& attachment_at(std::size_t t, std::size_t j) {
+    return attachment[t * num_users + j];
+  }
+  [[nodiscard]] std::size_t attachment_at(std::size_t t,
+                                          std::size_t j) const {
+    return attachment[t * num_users + j];
+  }
+  [[nodiscard]] bool has_positions() const { return !position.empty(); }
+  [[nodiscard]] geo::GeoPoint& position_at(std::size_t t, std::size_t j) {
+    return position[t * num_users + j];
+  }
+  [[nodiscard]] geo::GeoPoint position_at(std::size_t t,
+                                          std::size_t j) const {
+    return position[t * num_users + j];
+  }
 
   // How often users are attached to each cloud (used by the paper to size
   // capacities proportionally to attachment frequency).
@@ -46,17 +75,24 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   // Generates a trace for `num_users` users over `num_slots` slots.
-  [[nodiscard]] virtual MobilityTrace generate(Rng& rng,
-                                               std::size_t num_users,
-                                               std::size_t num_slots) const = 0;
+  [[nodiscard]] virtual MobilityTrace generate(
+      Rng& rng, std::size_t num_users, std::size_t num_slots,
+      const TraceOptions& layout) const = 0;
+  // Back-compat convenience: full layout (positions retained).
+  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
+                                       std::size_t num_slots) const {
+    return generate(rng, num_users, num_slots, TraceOptions{});
+  }
 };
 
 class RandomWalkMobility final : public MobilityModel {
  public:
   explicit RandomWalkMobility(const geo::MetroNetwork& network)
       : network_(network) {}
-  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
-                                       std::size_t num_slots) const override;
+  using MobilityModel::generate;
+  [[nodiscard]] MobilityTrace generate(
+      Rng& rng, std::size_t num_users, std::size_t num_slots,
+      const TraceOptions& layout) const override;
 
  private:
   const geo::MetroNetwork& network_;
@@ -77,8 +113,10 @@ class TaxiMobility final : public MobilityModel {
  public:
   TaxiMobility(const geo::MetroNetwork& network, TaxiOptions options = {})
       : network_(network), options_(options) {}
-  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
-                                       std::size_t num_slots) const override;
+  using MobilityModel::generate;
+  [[nodiscard]] MobilityTrace generate(
+      Rng& rng, std::size_t num_users, std::size_t num_slots,
+      const TraceOptions& layout) const override;
 
  private:
   const geo::MetroNetwork& network_;
@@ -89,8 +127,10 @@ class StationaryMobility final : public MobilityModel {
  public:
   explicit StationaryMobility(const geo::MetroNetwork& network)
       : network_(network) {}
-  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
-                                       std::size_t num_slots) const override;
+  using MobilityModel::generate;
+  [[nodiscard]] MobilityTrace generate(
+      Rng& rng, std::size_t num_users, std::size_t num_slots,
+      const TraceOptions& layout) const override;
 
  private:
   const geo::MetroNetwork& network_;
@@ -110,8 +150,10 @@ class CommuterMobility final : public MobilityModel {
   CommuterMobility(const geo::MetroNetwork& network,
                    CommuterOptions options = {})
       : network_(network), options_(options) {}
-  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
-                                       std::size_t num_slots) const override;
+  using MobilityModel::generate;
+  [[nodiscard]] MobilityTrace generate(
+      Rng& rng, std::size_t num_users, std::size_t num_slots,
+      const TraceOptions& layout) const override;
 
  private:
   const geo::MetroNetwork& network_;
@@ -125,8 +167,10 @@ class PingPongMobility final : public MobilityModel {
   PingPongMobility(const geo::MetroNetwork& network, std::size_t a,
                    std::size_t b, std::size_t period = 1)
       : network_(network), a_(a), b_(b), period_(period) {}
-  [[nodiscard]] MobilityTrace generate(Rng& rng, std::size_t num_users,
-                                       std::size_t num_slots) const override;
+  using MobilityModel::generate;
+  [[nodiscard]] MobilityTrace generate(
+      Rng& rng, std::size_t num_users, std::size_t num_slots,
+      const TraceOptions& layout) const override;
 
  private:
   const geo::MetroNetwork& network_;

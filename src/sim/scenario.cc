@@ -50,17 +50,23 @@ model::Instance make_instance(const geo::MetroNetwork& network,
                                                options.workload);
 
   // Mobility trace -> attachments, access delays, attachment frequency.
-  const mobility::MobilityTrace trace =
-      mobility.generate(mobility_rng, options.num_users, options.num_slots);
-  instance.attachment = trace.attachment;
+  mobility::TraceOptions layout;
+  layout.retain_positions = options.retain_positions;
+  const mobility::MobilityTrace trace = mobility.generate(
+      mobility_rng, options.num_users, options.num_slots, layout);
+  instance.attachment.assign(options.num_slots,
+                             std::vector<std::size_t>(options.num_users, 0));
   instance.access_delay.assign(options.num_slots,
                                model::Vec(options.num_users, 0.0));
   for (std::size_t t = 0; t < options.num_slots; ++t) {
     for (std::size_t j = 0; j < options.num_users; ++j) {
-      const auto& station = network.station(trace.attachment[t][j]);
-      instance.access_delay[t][j] =
-          options.delay_price_per_km *
-          geo::haversine_km(trace.position[t][j], station.position);
+      instance.attachment[t][j] = trace.attachment_at(t, j);
+      if (trace.has_positions()) {
+        const auto& station = network.station(trace.attachment_at(t, j));
+        instance.access_delay[t][j] =
+            options.delay_price_per_km *
+            geo::haversine_km(trace.position_at(t, j), station.position);
+      }
     }
   }
 

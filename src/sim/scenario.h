@@ -31,6 +31,11 @@ struct ScenarioOptions {
   pricing::BandwidthPriceOptions bandwidth_price;
   pricing::ReconfigurationPriceOptions reconfiguration_price;
   std::uint64_t seed = 1;
+  // When false the mobility trace skips storing per-slot GPS positions and
+  // access delays are zero (users sit exactly at their station). Attachment
+  // sequences and demands are unchanged. Use for scoring-only runs at large
+  // J where position storage dominates memory.
+  bool retain_positions = true;
 };
 
 // Builds an instance from an explicit mobility model on a metro network.

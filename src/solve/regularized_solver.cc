@@ -33,7 +33,7 @@ double RegularizedProblem::eta(std::size_t i) const {
 }
 
 double RegularizedProblem::tau(std::size_t j) const {
-  return std::log1p(demand[j] / eps2);
+  return std::log1p(demand[j] / eps2_of(j));
 }
 
 double RegularizedProblem::total_demand() const {
@@ -60,8 +60,9 @@ double RegularizedProblem::objective(const Vec& x, const Vec& prev_agg) const {
     if (migration_price[i] > 0.0) {
       for (std::size_t j = 0; j < num_users; ++j) {
         const std::size_t ij = index(i, j);
-        const double num = x[ij] + eps2;
-        const double den = prev[ij] + eps2;
+        const double e2 = eps2_of(j);
+        const double num = x[ij] + e2;
+        const double den = prev[ij] + e2;
         value += migration_price[i] / tau(j) *
                  (num * std::log(num / den) - x[ij]);
       }
@@ -99,7 +100,8 @@ void RegularizedProblem::gradient_into(const Vec& x, const Vec& prev_agg,
       const std::size_t ij = index(i, j);
       double g = recon_term;
       if (mig > 0.0) {
-        g += mig / tau_cache[j] * std::log((x[ij] + eps2) / (prev[ij] + eps2));
+        const double e2 = eps2_of(j);
+        g += mig / tau_cache[j] * std::log((x[ij] + e2) / (prev[ij] + e2));
       }
       out[ij] += g;
     }
@@ -124,6 +126,18 @@ std::string RegularizedProblem::validate() const {
   if (eps1 <= 0.0 || eps2 <= 0.0) {
     err << "eps1/eps2 must be positive";
     return err.str();
+  }
+  if (!eps2_user.empty()) {
+    if (eps2_user.size() != num_users) {
+      err << "eps2_user must be empty or have one entry per user";
+      return err.str();
+    }
+    for (std::size_t j = 0; j < num_users; ++j) {
+      if (eps2_user[j] <= 0.0) {
+        err << "eps2_user of user " << j << " must be positive";
+        return err.str();
+      }
+    }
   }
   for (std::size_t j = 0; j < num_users; ++j) {
     if (demand[j] <= 0.0) {
@@ -172,7 +186,8 @@ void NewtonWorkspace::resize(std::size_t num_clouds, std::size_t num_users,
     v->assign(num_clouds, 0.0);
   }
   for (Vec* v : {&theta, &best_theta, &dtheta, &col_sum, &dx_demand,
-                 &tau_cache, &slack_demand, &tj, &dj, &wj, &wc, &warm_theta}) {
+                 &tau_cache, &eps2_cache, &slack_demand, &tj, &dj, &wj, &wc,
+                 &warm_theta}) {
     v->assign(num_users, 0.0);
   }
   for (Vec* v : {&wtr, &mw}) v->assign(k, 0.0);
@@ -577,9 +592,12 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
   const std::size_t k = kI + kJ + 1;  // reduction basis: u_i, a_j, e
   const std::size_t total_constraints = n + kJ + (has_comp ? kI : 0) +
                                         (has_cap ? kI : 0);
-  // Loop-invariant caches: τ_j, η_i and the previous aggregate Xp_i
+  // Loop-invariant caches: τ_j, ε2_j, η_i and the previous aggregate Xp_i
   // (objective/gradient would otherwise recompute Xp per call).
-  for (std::size_t j = 0; j < kJ; ++j) ws.tau_cache[j] = p.tau(j);
+  for (std::size_t j = 0; j < kJ; ++j) {
+    ws.tau_cache[j] = p.tau(j);
+    ws.eps2_cache[j] = p.eps2_of(j);
+  }
   for (std::size_t i = 0; i < kI; ++i) ws.eta_cache[i] = p.eta(i);
   p.prev_aggregate_into(ws.prev_agg);
 
@@ -795,8 +813,9 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
           const std::size_t ij = base + j;
           double g = p.linear_cost[ij] + rterm;
           if (mig > 0.0) {
+            const double e2 = ws.eps2_cache[j];
             g += mig / ws.tau_cache[j] *
-                 std::log((ws.x[ij] + p.eps2) / (p.prev[ij] + p.eps2));
+                 std::log((ws.x[ij] + e2) / (p.prev[ij] + e2));
           }
           const double rd = g - ws.delta[ij] - ws.theta[j] - rex + kap;
           ws.r_dual[ij] = rd;
@@ -908,7 +927,9 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
         for (std::size_t j = j0; j < j1; ++j) {
           const std::size_t ij = base + j;
           double d = ws.delta[ij] / ws.x[ij];
-          if (mig > 0.0) d += mig / ws.tau_cache[j] / (ws.x[ij] + p.eps2);
+          if (mig > 0.0) {
+            d += mig / ws.tau_cache[j] / (ws.x[ij] + ws.eps2_cache[j]);
+          }
           ws.diag[ij] = d;
           const double b = 1.0 / d;
           ws.inv_diag[ij] = b;
@@ -1273,7 +1294,10 @@ RegularizedSolution RegularizedSolver::solve_active(
   const std::size_t k = kI + kJ + 1;
   const double cost_scale = 1.0 + linalg::norm_inf(p.linear_cost);
 
-  for (std::size_t j = 0; j < kJ; ++j) ws.tau_cache[j] = p.tau(j);
+  for (std::size_t j = 0; j < kJ; ++j) {
+    ws.tau_cache[j] = p.tau(j);
+    ws.eps2_cache[j] = p.eps2_of(j);
+  }
   for (std::size_t i = 0; i < kI; ++i) ws.eta_cache[i] = p.eta(i);
   p.prev_aggregate_into(ws.prev_agg);
 
@@ -1299,9 +1323,11 @@ RegularizedSolution RegularizedSolver::solve_active(
       ws.active_mask[best_i * kJ + j] = 1;
     }
   }
-  const double prev_floor = std::max(0.0, options_.active_prev_rel) * p.eps2;
+  const double prev_rel = std::max(0.0, options_.active_prev_rel);
   for (std::size_t idx = 0; idx < n; ++idx) {
-    if (p.prev[idx] > prev_floor) ws.active_mask[idx] = 1;
+    if (p.prev[idx] > prev_rel * ws.eps2_cache[idx % kJ]) {
+      ws.active_mask[idx] = 1;
+    }
   }
   if (options_.warm_start && ws.support_valid && ws.carry_mask.size() == n) {
     for (std::size_t idx = 0; idx < n; ++idx) {
@@ -1766,13 +1792,14 @@ RegularizedSolution RegularizedSolver::solve_active(
         double comp_part = 0.0;
         double sth = 0.0;
         for (std::size_t j = j0; j < j1; ++j) {
+          const double e2 = ws.eps2_cache[j];
           for (std::size_t pos = ws.sup_off[j]; pos < ws.sup_off[j + 1];
                ++pos) {
             const std::size_t i = ws.sup_cloud[pos];
             double g = ws.lin_s[pos] + ws.recon_term[i];
             if (ws.mt_s[pos] > 0.0) {
-              g += ws.mt_s[pos] * std::log((ws.xs[pos] + p.eps2) /
-                                           (ws.prev_s[pos] + p.eps2));
+              g += ws.mt_s[pos] * std::log((ws.xs[pos] + e2) /
+                                           (ws.prev_s[pos] + e2));
             }
             const double rd = g - ws.delta_s[pos] - ws.theta[j] -
                               ws.rho_except[i] +
@@ -1875,10 +1902,11 @@ RegularizedSolution RegularizedSolver::solve_active(
         for (std::size_t j = j0; j < j1; ++j) {
           const std::size_t p0 = ws.sup_off[j];
           const std::size_t p1 = ws.sup_off[j + 1];
+          const double e2 = ws.eps2_cache[j];
           double col = 0.0;
           for (std::size_t pos = p0; pos < p1; ++pos) {
             double d = ws.delta_s[pos] / ws.xs[pos];
-            if (ws.mt_s[pos] > 0.0) d += ws.mt_s[pos] / (ws.xs[pos] + p.eps2);
+            if (ws.mt_s[pos] > 0.0) d += ws.mt_s[pos] / (ws.xs[pos] + e2);
             ws.diag_s[pos] = d;
             const double b = 1.0 / d;
             ws.inv_diag_s[pos] = b;
@@ -2183,8 +2211,9 @@ RegularizedSolution RegularizedSolver::solve_active(
             if (ws.active_mask[ij]) continue;
             double rc = p.linear_cost[ij] + rterm - ws.theta[j] - rex + kap;
             if (mig > 0.0) {
+              const double e2 = ws.eps2_cache[j];
               rc += mig / ws.tau_cache[j] *
-                    std::log(p.eps2 / (p.prev[ij] + p.eps2));
+                    std::log(e2 / (p.prev[ij] + e2));
             }
             ws.r_dual[ij] = rc;
             if (rc < -tol_abs) {
@@ -2254,8 +2283,9 @@ RegularizedSolution RegularizedSolver::solve_active(
   ws.warm_valid = true;
   ws.carry_mask.assign(n, 0);
   for (std::size_t j = 0; j < kJ; ++j) {
+    const double floor_j = prev_rel * ws.eps2_cache[j];
     for (std::size_t pos = ws.sup_off[j]; pos < ws.sup_off[j + 1]; ++pos) {
-      if (ws.xs[pos] > prev_floor) {
+      if (ws.xs[pos] > floor_j) {
         ws.carry_mask[ws.sup_cloud[pos] * kJ + j] = 1;
       }
     }

@@ -57,6 +57,16 @@ struct RegularizedProblem {
   Vec prev;                    // x*_{i,j,t-1}, size I*J (>= 0)
   double eps1 = 1.0;
   double eps2 = 1.0;
+  // Optional per-user ε2 override: empty (default) means the scalar `eps2`
+  // applies to every user; otherwise entry j replaces ε2 in user j's
+  // migration regularizer and in τ_j = ln(1 + λ_j/ε2_j). The user-class
+  // aggregation layer (src/agg) relies on this: collapsing a class of w
+  // bitwise-identical users into one class-total variable y = w·x keeps the
+  // collapsed P2 exactly equal to the per-user sum iff that class solves
+  // with ε2_c = w·ε2 (then τ_c = ln(1 + w·λ/(w·ε2)) stays the per-member
+  // value). Scalar-eps2 problems take the exact same code paths bit for
+  // bit.
+  Vec eps2_user;
   // The paper's P2 relies on Theorem 1 for capacity feasibility, but the
   // monotonicity argument only binds when demand holds with equality; with
   // large dynamic prices the regularizer can hold on to stale allocations
@@ -88,6 +98,10 @@ struct RegularizedProblem {
                      Vec& out) const;
   // η_i (0 when the regularizer is absent, i.e. c_i = 0 or C_i = 0).
   [[nodiscard]] double eta(std::size_t i) const;
+  // Effective ε2 of user j (scalar unless eps2_user overrides it).
+  [[nodiscard]] double eps2_of(std::size_t j) const {
+    return eps2_user.empty() ? eps2 : eps2_user[j];
+  }
   // τ_ij (only depends on j).
   [[nodiscard]] double tau(std::size_t j) const;
   [[nodiscard]] double total_demand() const;
@@ -213,8 +227,8 @@ struct NewtonWorkspace {
   // Iterative-refinement buffer and per-cloud serial scratch.
   Vec residual, comp_corr, rhs_i_term, recon_term, rho_except, dx_agg,
       dx_demand;
-  // Loop-invariant caches (η_i, τ_j, Xp_i).
-  Vec eta_cache, tau_cache, prev_agg;
+  // Loop-invariant caches (η_i, τ_j, ε2_j, Xp_i).
+  Vec eta_cache, tau_cache, eps2_cache, prev_agg;
   // Linear-constraint slacks at the current x.
   Vec slack_agg, slack_demand, slack_comp, slack_cap;
   // Per-chunk partials of the deterministic parallel assembly, indexed

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 
@@ -20,9 +22,14 @@ const char* to_string(Distribution d) {
 }
 
 Distribution distribution_from_string(const std::string& name) {
+  if (name == "power") return Distribution::kPower;
   if (name == "uniform") return Distribution::kUniform;
   if (name == "normal") return Distribution::kNormal;
-  return Distribution::kPower;
+  std::fprintf(stderr,
+               "error: unknown workload distribution '%s' (expected one of "
+               "'power', 'uniform', 'normal')\n",
+               name.c_str());
+  std::exit(2);
 }
 
 std::vector<double> generate_demands(Rng& rng, std::size_t num_users,

@@ -20,7 +20,10 @@ enum class Distribution {
 
 const char* to_string(Distribution d);
 
-// Parses "power" / "uniform" / "normal"; falls back to kPower.
+// Parses "power" / "uniform" / "normal". Any other name is a configuration
+// error: prints a clear message and exits with status 2, matching the
+// repo's fail-fast knob-validation convention (a typo'd workload name must
+// not silently run the power-law experiment).
 Distribution distribution_from_string(const std::string& name);
 
 struct WorkloadOptions {

@@ -23,12 +23,27 @@ TEST(TraceIo, RoundTripsRandomWalk) {
   EXPECT_EQ(parsed->attachment, original.attachment);
   for (std::size_t t = 0; t < original.num_slots; ++t) {
     for (std::size_t j = 0; j < original.num_users; ++j) {
-      EXPECT_DOUBLE_EQ(parsed->position[t][j].latitude_deg,
-                       original.position[t][j].latitude_deg);
-      EXPECT_DOUBLE_EQ(parsed->position[t][j].longitude_deg,
-                       original.position[t][j].longitude_deg);
+      EXPECT_DOUBLE_EQ(parsed->position_at(t, j).latitude_deg,
+                       original.position_at(t, j).latitude_deg);
+      EXPECT_DOUBLE_EQ(parsed->position_at(t, j).longitude_deg,
+                       original.position_at(t, j).longitude_deg);
     }
   }
+}
+
+TEST(TraceIo, PositionFreeTraceRoundTripsAttachments) {
+  Rng rng(6);
+  const mobility::RandomWalkMobility walk(geo::rome_metro());
+  mobility::TraceOptions layout;
+  layout.retain_positions = false;
+  const mobility::MobilityTrace original =
+      walk.generate(rng, 5, 4, layout);
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  std::string error;
+  const auto parsed = read_trace(buffer, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->attachment, original.attachment);
 }
 
 TEST(TraceIo, RejectsBadHeader) {

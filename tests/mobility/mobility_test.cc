@@ -16,10 +16,34 @@ TEST(RandomWalk, ShapeAndRange) {
   const MobilityTrace trace = walk.generate(rng, 10, 30);
   EXPECT_EQ(trace.num_users, 10u);
   EXPECT_EQ(trace.num_slots, 30u);
-  ASSERT_EQ(trace.attachment.size(), 30u);
-  for (const auto& slot : trace.attachment) {
-    ASSERT_EQ(slot.size(), 10u);
-    for (std::size_t cloud : slot) EXPECT_LT(cloud, rome_metro().size());
+  ASSERT_EQ(trace.attachment.size(), 300u);  // flat row-major, T*J
+  ASSERT_EQ(trace.position.size(), 300u);
+  for (std::size_t cloud : trace.attachment) {
+    EXPECT_LT(cloud, rome_metro().size());
+  }
+}
+
+TEST(Trace, PositionRetentionIsOptionalAndDoesNotChangeAttachments) {
+  TraceOptions full;
+  TraceOptions lean;
+  lean.retain_positions = false;
+  for (const MobilityModel* model :
+       std::initializer_list<const MobilityModel*>{
+           new RandomWalkMobility(rome_metro()),
+           new TaxiMobility(rome_metro()),
+           new StationaryMobility(rome_metro()),
+           new CommuterMobility(rome_metro()),
+           new PingPongMobility(rome_metro(), 1, 2)}) {
+    Rng a(5), b(5);
+    const MobilityTrace with = model->generate(a, 12, 8, full);
+    const MobilityTrace without = model->generate(b, 12, 8, lean);
+    EXPECT_TRUE(with.has_positions());
+    EXPECT_FALSE(without.has_positions());
+    EXPECT_TRUE(without.position.empty());
+    // Dropping positions must not perturb the rng consumption or the
+    // attachment sequence.
+    EXPECT_EQ(with.attachment, without.attachment);
+    delete model;
   }
 }
 
@@ -29,8 +53,8 @@ TEST(RandomWalk, MovesOnlyAlongMetroEdges) {
   const MobilityTrace trace = walk.generate(rng, 20, 50);
   for (std::size_t t = 1; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      const std::size_t from = trace.attachment[t - 1][j];
-      const std::size_t to = trace.attachment[t][j];
+      const std::size_t from = trace.attachment_at(t - 1, j);
+      const std::size_t to = trace.attachment_at(t, j);
       if (from == to) continue;
       const auto& neigh = rome_metro().neighbors(from);
       EXPECT_NE(std::find(neigh.begin(), neigh.end(), to), neigh.end())
@@ -49,9 +73,9 @@ TEST(RandomWalk, TransitionProbabilityIsUniformOverOptions) {
   const MobilityTrace trace = walk.generate(rng, 200, 400);
   for (std::size_t t = 1; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      if (trace.attachment[t - 1][j] == 6) {  // Termini
+      if (trace.attachment_at(t - 1, j) == 6) {  // Termini
         ++from_termini;
-        ++counts[trace.attachment[t][j]];
+        ++counts[trace.attachment_at(t, j)];
       }
     }
   }
@@ -69,8 +93,8 @@ TEST(RandomWalk, PositionsMatchStations) {
   const MobilityTrace trace = walk.generate(rng, 5, 10);
   for (std::size_t t = 0; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      const auto& station = rome_metro().station(trace.attachment[t][j]);
-      EXPECT_NEAR(geo::haversine_km(trace.position[t][j], station.position),
+      const auto& station = rome_metro().station(trace.attachment_at(t, j));
+      EXPECT_NEAR(geo::haversine_km(trace.position_at(t, j), station.position),
                   0.0, 1e-9);
     }
   }
@@ -85,8 +109,8 @@ TEST(Taxi, SpeedIsBounded) {
       options.max_speed_kmh * options.slot_minutes / 60.0;
   for (std::size_t t = 1; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      const double moved = geo::haversine_km(trace.position[t - 1][j],
-                                             trace.position[t][j]);
+      const double moved = geo::haversine_km(trace.position_at(t - 1, j),
+                                             trace.position_at(t, j));
       EXPECT_LE(moved, max_km_per_slot + 1e-9);
     }
   }
@@ -98,8 +122,8 @@ TEST(Taxi, AttachesToNearestStation) {
   const MobilityTrace trace = taxi.generate(rng, 10, 20);
   for (std::size_t t = 0; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      EXPECT_EQ(trace.attachment[t][j],
-                rome_metro().nearest_station(trace.position[t][j]));
+      EXPECT_EQ(trace.attachment_at(t, j),
+                rome_metro().nearest_station(trace.position_at(t, j)));
     }
   }
 }
@@ -126,7 +150,7 @@ TEST(Taxi, SomeUsersIdlePerSlot) {
   for (std::size_t t = 1; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
       ++total;
-      if (geo::haversine_km(trace.position[t - 1][j], trace.position[t][j]) <
+      if (geo::haversine_km(trace.position_at(t - 1, j), trace.position_at(t, j)) <
           1e-12) {
         ++idle;
       }
@@ -146,7 +170,7 @@ TEST(Commuter, DriftsTowardHubThenBackHome) {
   auto at_hub = [&](std::size_t t) {
     int count = 0;
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      if (trace.attachment[t][j] == options.hub) ++count;
+      if (trace.attachment_at(t, j) == options.hub) ++count;
     }
     return count;
   };
@@ -162,8 +186,8 @@ TEST(Commuter, MovesOnlyAlongEdges) {
   const MobilityTrace trace = commuter.generate(rng, 20, 30);
   for (std::size_t t = 1; t < trace.num_slots; ++t) {
     for (std::size_t j = 0; j < trace.num_users; ++j) {
-      const std::size_t from = trace.attachment[t - 1][j];
-      const std::size_t to = trace.attachment[t][j];
+      const std::size_t from = trace.attachment_at(t - 1, j);
+      const std::size_t to = trace.attachment_at(t, j);
       if (from == to) continue;
       const auto& neigh = rome_metro().neighbors(from);
       EXPECT_NE(std::find(neigh.begin(), neigh.end(), to), neigh.end());
@@ -185,7 +209,7 @@ TEST(PingPong, AlternatesWithPeriod) {
   for (std::size_t t = 0; t < 12; ++t) {
     const std::size_t expected = (t / 3) % 2 == 0 ? 2u : 9u;
     for (std::size_t j = 0; j < 4; ++j) {
-      EXPECT_EQ(trace.attachment[t][j], expected) << "slot " << t;
+      EXPECT_EQ(trace.attachment_at(t, j), expected) << "slot " << t;
     }
   }
 }

@@ -94,5 +94,58 @@ TEST(Workload, StringRoundTrip) {
   EXPECT_STREQ(to_string(Distribution::kNormal), "normal");
 }
 
+TEST(WorkloadDeathTest, UnknownDistributionNameExitsLoudly) {
+  EXPECT_EXIT((void)distribution_from_string("zipf"),
+              ::testing::ExitedWithCode(2), "unknown workload distribution");
+  EXPECT_EXIT((void)distribution_from_string(""),
+              ::testing::ExitedWithCode(2), "unknown workload distribution");
+  // Parsing is exact, not prefix- or case-insensitive.
+  EXPECT_EXIT((void)distribution_from_string("Power"),
+              ::testing::ExitedWithCode(2), "unknown workload distribution");
+}
+
+TEST_P(WorkloadDistributions, MeanTracksTheRequestedTarget) {
+  // Tighter than the ballpark test: the realized mean should track the
+  // requested one within ~15% for every distribution at this sample size
+  // (power loses a little mass to the cap, normal to truncation at 1).
+  Rng rng(23);
+  WorkloadOptions options;
+  options.distribution = GetParam();
+  options.mean = 6.0;
+  const auto demands = generate_demands(rng, 50000, options);
+  const double mean = mean_of(demands);
+  EXPECT_GT(mean, 0.85 * options.mean);
+  EXPECT_LT(mean, 1.15 * options.mean);
+}
+
+TEST(Workload, FloorClampsToOne) {
+  // Normal(mean, mean/3) with a small mean produces draws below 1; the
+  // generator must clamp them to λ_j >= 1 (Lemma 6's requirement).
+  Rng rng(29);
+  WorkloadOptions options;
+  options.distribution = Distribution::kNormal;
+  options.mean = 1.0;
+  const auto demands = generate_demands(rng, 5000, options);
+  const double lo = *std::min_element(demands.begin(), demands.end());
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  for (double d : demands) EXPECT_DOUBLE_EQ(d, std::round(d));
+}
+
+TEST(Workload, CapIsEnforcedOnEveryDistribution) {
+  for (const auto dist : {Distribution::kPower, Distribution::kUniform,
+                          Distribution::kNormal}) {
+    Rng rng(31);
+    WorkloadOptions options;
+    options.distribution = dist;
+    options.mean = 16.0;
+    options.max_demand = 16.0;
+    const auto demands = generate_demands(rng, 2000, options);
+    for (double d : demands) {
+      EXPECT_GE(d, 1.0) << to_string(dist);
+      EXPECT_LE(d, options.max_demand) << to_string(dist);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace eca::workload
