@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "algo/online_approx.h"
+#include "check/harness.h"
 #include "common/env.h"
 #include "common/table.h"
 #include "obs/events.h"
@@ -143,10 +144,47 @@ inline void emit(const Table& table, bool csv) {
   }
 }
 
+// Verification-gate provenance for the meta block: a tiny prop-harness
+// smoke (a handful of seeded scenarios through the full differential
+// oracle of DESIGN.md §13, no shrinking) run right before the BENCH JSON
+// is written. Recording its timing and outcome in every BENCH_*.json ties
+// a perf number to proof that the correctness gates actually ran on the
+// same binary at commit time. ECA_BENCH_PROP_SMOKE=0 skips it (recorded
+// as "skipped": perf_guard.py treats a recorded skip as informational,
+// only an ok=false block fails the gate).
+struct MetaChecks {
+  bool ran = false;
+  bool ok = false;
+  int scenarios = 0;
+  int failures = 0;
+  double wall_seconds = 0.0;
+};
+
+inline MetaChecks run_meta_checks() {
+  MetaChecks checks;
+  if (!env_bool("ECA_BENCH_PROP_SMOKE", true)) return checks;
+  check::HarnessOptions options;
+  options.seed = 1;
+  options.num_scenarios = 5;
+  options.shrink_failures = false;  // provenance, not diagnosis: stay cheap
+  const check::HarnessSummary summary = check::run_harness(options);
+  checks.ran = true;
+  checks.ok = summary.ok();
+  checks.scenarios = summary.scenarios_run;
+  checks.failures = summary.failures;
+  checks.wall_seconds = summary.wall_seconds;
+  std::printf("meta.checks: prop smoke %d scenarios, %d failures, %.3fs\n",
+              checks.scenarios, checks.failures, checks.wall_seconds);
+  return checks;
+}
+
 // Provenance meta block shared by every BENCH_*.json: git_sha and
 // build_type are compile-time stamps, the UTC timestamp is taken at run
-// time — together they make a BENCH trajectory joinable across commits.
-// Writes `"meta": {...},` (trailing comma: meant to lead an object body).
+// time, and `checks` records the verification gates run against this very
+// binary — together they make a BENCH trajectory joinable across commits
+// AND auditable (a perf point whose prop smoke failed is not a perf
+// point). Writes `"meta": {...},` (trailing comma: meant to lead an
+// object body).
 inline void write_meta_json(FILE* out) {
   char stamp[32] = "unknown";
   const std::time_t now = std::time(nullptr);
@@ -154,10 +192,22 @@ inline void write_meta_json(FILE* out) {
   if (gmtime_r(&now, &utc) != nullptr) {
     std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
   }
+  const MetaChecks checks = run_meta_checks();
   std::fprintf(out,
                "  \"meta\": {\"git_sha\": \"%s\", \"build_type\": \"%s\", "
-               "\"timestamp_utc\": \"%s\"},\n",
+               "\"timestamp_utc\": \"%s\",\n",
                ECA_GIT_SHA, ECA_BUILD_TYPE, stamp);
+  if (checks.ran) {
+    std::fprintf(out,
+                 "    \"checks\": {\"prop_smoke\": {\"ok\": %s, "
+                 "\"scenarios\": %d, \"failures\": %d, "
+                 "\"wall_seconds\": %.6f}}},\n",
+                 checks.ok ? "true" : "false", checks.scenarios,
+                 checks.failures, checks.wall_seconds);
+  } else {
+    std::fprintf(out,
+                 "    \"checks\": {\"prop_smoke\": {\"skipped\": true}}},\n");
+  }
 }
 
 struct EventsOverhead {

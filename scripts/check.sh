@@ -1,16 +1,40 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 build + tests, ThreadSanitizer smoke of the
-# parallel code paths, and a quick-mode bench sweep that exercises the
-# BENCH_solvers.json emitter end to end.
+# parallel code paths, the property-harness smoke sweep, and a quick-mode
+# bench sweep that exercises the BENCH_solvers.json emitter end to end.
 #
 #   scripts/check.sh                 # everything
+#   scripts/check.sh fuzz [N] [SEC]  # extended property-harness soak only:
+#                                    # N seeded scenarios (default 1000)
+#                                    # time-boxed to SEC seconds (default
+#                                    # 300), gated through perf_guard.py
 #   ECA_CHECK_SKIP_TSAN=1 scripts/check.sh   # skip the TSan build (slow)
+#   ECA_PROP_SEED=7 scripts/check.sh fuzz    # soak a different seed range
 #
 # Build directories: build/ (tier-1, Release) and build-tsan/ (TSan smoke).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
+
+# Extended-seed-range fuzz mode: build only what the harness needs, run the
+# soak, and gate the summary like a perf result. Failures are shrunk to
+# replay files under build/prop-fuzz/.
+if [[ "${1:-}" == "fuzz" ]]; then
+  scenarios="${2:-1000}"
+  budget="${3:-300}"
+  echo "== prop fuzz: $scenarios scenarios, ${budget}s budget =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs" --target prop_fuzz
+  fuzz_dir=build/prop-fuzz
+  rm -rf "$fuzz_dir" && mkdir -p "$fuzz_dir"
+  ./build/examples/prop_fuzz --scenarios "$scenarios" \
+    --time-budget "$budget" --replay-dir "$fuzz_dir" \
+    --summary "$fuzz_dir/prop_summary.json" || true
+  python3 scripts/perf_guard.py "$fuzz_dir/prop_summary.json"
+  echo "== check.sh fuzz: gate passed =="
+  exit 0
+fi
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
@@ -30,6 +54,23 @@ if [[ "${ECA_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   ctest --test-dir build-tsan -L tsan-smoke --output-on-failure
 else
   echo "== tsan-smoke: skipped (ECA_CHECK_SKIP_TSAN=1) =="
+fi
+
+echo "== prop-smoke: differential harness sweep (ctest -L prop-smoke) =="
+ctest --test-dir build -L prop-smoke --output-on-failure
+
+echo "== prop-smoke: harness summary through the perf guard =="
+prop_dir=build/prop-check
+rm -rf "$prop_dir" && mkdir -p "$prop_dir"
+./build/examples/prop_fuzz --scenarios 50 --replay-dir "$prop_dir" \
+  --summary "$prop_dir/prop_summary.json" || true
+python3 scripts/perf_guard.py "$prop_dir/prop_summary.json"
+
+echo "== scripts: python unit tests =="
+if command -v pytest >/dev/null 2>&1; then
+  pytest -q tests/scripts
+else
+  python3 -m unittest discover -s tests/scripts -p 'test_*.py' -v
 fi
 
 echo "== obs: instrumented trajectory + schema validation =="

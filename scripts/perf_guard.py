@@ -71,11 +71,20 @@ eca.bench_scale.v1 (user-class aggregation sweep):
     — the streaming representation is the reason a 10^6-user, 60-slot
     trajectory fits.
 
-All schemas additionally carry an "events_overhead" block (best-of-N
+eca.prop_summary.v1 (property-harness run summary, written by
+examples/prop_fuzz --summary):
+
+  * zero scenarios run, or any oracle violation (failures > 0) — each
+    failure is printed with its seed and shrunk replay path so the witness
+    can be re-run with `examples/prop_fuzz --replay FILE`.
+
+All BENCH schemas additionally carry an "events_overhead" block (best-of-N
 wall time for a representative simulation with event streaming off vs. on,
 buffer-only) and a provenance "meta" block; the shared gate requires the
 events-on leg within 2% of events-off. Quick-mode timings below 10 ms are
-too noisy to gate and print a note instead.
+too noisy to gate and print a note instead. The meta block's "checks"
+entry records the prop-harness smoke run against the same binary at bench
+time; a recorded ok=false fails the gate, a recorded skip is a note.
 
 Exits 0 with a summary line per file when every check passes.
 """
@@ -113,6 +122,31 @@ def check_events_overhead(path, bench):
     print(f"perf_guard: OK: {path}: events overhead "
           f"{100.0 * (on / off - 1.0):+.2f}% "
           f"(on {on:.4f}s vs off {off:.4f}s)")
+
+
+def check_meta_checks(path, bench):
+    """Verification-gate provenance shared by every BENCH schema: the meta
+    block records a prop-harness smoke run against the same binary that
+    produced the perf numbers. A recorded failure poisons the perf point; a
+    recorded skip (ECA_BENCH_PROP_SMOKE=0) and a pre-checks bench json are
+    informational."""
+    block = bench.get("meta", {}).get("checks", {}).get("prop_smoke")
+    if block is None:
+        print(f"perf_guard: note: {path}: no meta.checks block "
+              "(pre-checks bench json); gate provenance not recorded")
+        return
+    if block.get("skipped"):
+        print(f"perf_guard: note: {path}: prop smoke skipped at bench time "
+              "(ECA_BENCH_PROP_SMOKE=0)")
+        return
+    if not block.get("ok"):
+        fail(f"{path}: meta.checks.prop_smoke recorded "
+             f"{block.get('failures', '?')} oracle violation(s) at bench "
+             "time — the perf numbers came from a binary that fails "
+             "verification")
+    print(f"perf_guard: OK: {path}: prop smoke at bench time "
+          f"({block.get('scenarios', 0)} scenarios, "
+          f"{block.get('wall_seconds', 0.0):.3f}s)")
 
 
 def check_solvers(path, bench):
@@ -296,6 +330,33 @@ def check_scale(path, bench):
           f"{scale_gated} under the at-scale gate)")
 
 
+def check_prop_summary(path, summary):
+    """Property-harness run summary (eca.prop_summary.v1): any oracle
+    violation fails the gate exactly like a perf regression — the harness
+    already shrank each failure to a minimal replay file, so the output
+    points straight at the witness."""
+    scenarios = summary.get("scenarios", 0)
+    if scenarios < 1:
+        fail(f"{path}: harness ran zero scenarios")
+    failures = summary.get("failures", 0)
+    if failures > 0:
+        for detail in summary.get("failure_details", []):
+            print(f"perf_guard: {path}: seed {detail.get('seed')}: "
+                  f"{detail.get('violation')} "
+                  f"(replay: {detail.get('replay_path') or 'not written'})",
+                  file=sys.stderr)
+        fail(f"{path}: {failures} oracle violation(s) across {scenarios} "
+             "scenarios — replay the shrunk witness with "
+             "examples/prop_fuzz --replay")
+    budget_note = (" (time budget exhausted)"
+                   if summary.get("budget_exhausted") else "")
+    print(f"perf_guard: OK: {path}: {scenarios} scenarios verified, "
+          f"offline legs on {summary.get('offline_legs_run', 0)}, "
+          f"worst KKT {summary.get('worst_kkt', 0.0):.3g}, "
+          f"worst infeasibility {summary.get('worst_infeasibility', 0.0):.3g}"
+          f"{budget_note}")
+
+
 CHECKS = {
     "eca.bench_solvers.v3": check_solvers,
     "eca.bench_offline.v1": check_offline,
@@ -314,12 +375,18 @@ def main():
         except (OSError, json.JSONDecodeError) as err:
             fail(f"{path}: {err}")
         schema = bench.get("schema")
+        if schema == "eca.prop_summary.v1":
+            # Harness summaries carry no benchmark timings, so the shared
+            # events-overhead gate does not apply.
+            check_prop_summary(path, bench)
+            continue
         check = CHECKS.get(schema)
         if check is None:
             fail(f"{path}: unknown schema {schema!r}; expected one of "
-                 f"{sorted(CHECKS)}")
+                 f"{sorted(CHECKS) + ['eca.prop_summary.v1']}")
         check(path, bench)
         check_events_overhead(path, bench)
+        check_meta_checks(path, bench)
 
 
 if __name__ == "__main__":

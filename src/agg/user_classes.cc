@@ -85,4 +85,40 @@ ClassPartition build_horizon_classes(const model::Instance& instance) {
       });
 }
 
+std::string validate_partition(const ClassPartition& part) {
+  if (part.class_of.size() != part.num_users) {
+    return "class_of size does not match num_users";
+  }
+  if (part.representative.size() != part.num_classes ||
+      part.count.size() != part.num_classes) {
+    return "representative/count size does not match num_classes";
+  }
+  if (part.num_classes > part.num_users && part.num_users > 0) {
+    return "more classes than users";
+  }
+  std::vector<std::size_t> seen_count(part.num_classes, 0);
+  std::size_t next_new_class = 0;
+  for (std::size_t j = 0; j < part.num_users; ++j) {
+    const std::uint32_t cls = part.class_of[j];
+    if (cls >= part.num_classes) return "class id out of range";
+    if (seen_count[cls] == 0) {
+      // First-occurrence ordering: the first member of a class must be its
+      // representative, and new ids must appear in increasing order.
+      if (cls != next_new_class) return "class ids not first-occurrence ordered";
+      if (part.representative[cls] != j) {
+        return "representative is not the first member of its class";
+      }
+      ++next_new_class;
+    }
+    ++seen_count[cls];
+  }
+  for (std::size_t c = 0; c < part.num_classes; ++c) {
+    if (seen_count[c] != part.count[c]) {
+      return "count does not match class_of membership";
+    }
+    if (seen_count[c] == 0) return "empty class";
+  }
+  return "";
+}
+
 }  // namespace eca::agg

@@ -28,6 +28,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -135,5 +136,13 @@ ClassPartition build_slot_classes(const model::Instance& instance,
 // Horizon classes for the offline LP: key (λ_j bits, full attachment
 // trajectory l_{j,0..T-1}).
 ClassPartition build_horizon_classes(const model::Instance& instance);
+
+// Structural validation of a partition: sizes consistent, every class id
+// in range, counts matching class_of, representatives first-occurrence
+// ordered and members of their own class. Returns an empty string when the
+// partition is well-formed, else a description of the first defect — the
+// aggregated differential leg of the property harness runs this before
+// trusting a collapse.
+std::string validate_partition(const ClassPartition& part);
 
 }  // namespace eca::agg

@@ -5,6 +5,7 @@
 #include "agg/aggregate.h"
 #include "algo/slot_lp.h"
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 
@@ -30,29 +31,39 @@ struct BaselineMetrics {
   }
 };
 
-// Post-solve contract shared by every baseline LP: on failure, route the
-// full context (algorithm, slot, solver status, iteration count, warm-start
-// flags) through eca::log and the baseline.lp_failures counter before the
-// hard abort — a crash in a long sweep must say which algorithm and slot
-// died and how the solve got there.
-void check_lp_solved(const solve::LpSolution& sol, const char* who,
-                     std::size_t t) {
+// Post-solve contract shared by every baseline LP: each check counts one
+// baseline.lp_solves hit (and one lp_fail fault-injection hit); a failure
+// routes the full context (algorithm, slot, solver status, iteration count,
+// warm-start flags) through eca::log and the baseline.lp_failures counter
+// and returns false so the caller can attempt the documented recovery —
+// one rebuild-from-scratch, cold, fresh-workspace re-solve, bit-identical
+// to the never-faulted rebuild+cold path. Only a second failure aborts.
+bool lp_check(const solve::LpSolution& sol, const char* who, std::size_t t) {
   if (obs::metrics_enabled()) BaselineMetrics::get().lp_solves.add(1);
-  if (sol.status == solve::SolveStatus::kOptimal) [[likely]] return;
+  const bool injected = fault_fire(FaultSite::kLpFail);
+  if (sol.status == solve::SolveStatus::kOptimal && !injected) [[likely]] {
+    return true;
+  }
   if (obs::metrics_enabled()) BaselineMetrics::get().lp_failures.add(1);
   ECA_LOG_ERROR(
       "%s: LP solve failed at slot %zu: status=%s iterations=%d "
-      "warm_started=%d warm_fallback=%d",
+      "warm_started=%d warm_fallback=%d injected=%d",
       who, t, solve::to_string(sol.status), sol.iterations,
-      static_cast<int>(sol.warm_started), static_cast<int>(sol.warm_fallback));
-  ECA_CHECK(sol.status == solve::SolveStatus::kOptimal, who,
-            " LP failed at slot ", t, ": ", solve::to_string(sol.status));
+      static_cast<int>(sol.warm_started), static_cast<int>(sol.warm_fallback),
+      static_cast<int>(injected));
+  return false;
 }
 
-solve::LpSolution solve_or_die(const solve::LpProblem& lp, const char* who,
-                               std::size_t t) {
-  const solve::LpSolution sol = solve::InteriorPointLp().solve(lp);
-  check_lp_solved(sol, who, t);
+solve::LpSolution solve_or_recover(const solve::LpProblem& lp,
+                                   const char* who, std::size_t t) {
+  solve::LpSolution sol = solve::InteriorPointLp().solve(lp);
+  if (lp_check(sol, who, t)) [[likely]] return sol;
+  ECA_LOG_WARN("%s: retrying slot %zu with a cold fresh-workspace solve",
+               who, t);
+  sol = solve::InteriorPointLp().solve(lp);
+  const bool recovered = lp_check(sol, who, t);
+  ECA_CHECK(recovered, who, " LP failed twice at slot ", t, ": ",
+            solve::to_string(sol.status));
   return sol;
 }
 
@@ -77,7 +88,7 @@ Allocation AtomisticAlgorithm::decide(const Instance& instance, std::size_t t,
     const agg::ClassPartition part = agg::build_static_classes(instance, t);
     const solve::LpProblem lp = agg::build_collapsed_static_lp(
         instance, t, part, include_operation_, include_service_quality_);
-    const solve::LpSolution sol = solve_or_die(lp, name_.c_str(), t);
+    const solve::LpSolution sol = solve_or_recover(lp, name_.c_str(), t);
     return agg::expand_static(instance, part, sol.x);
   }
   if (!options_.reuse_skeleton) {
@@ -85,7 +96,7 @@ Allocation AtomisticAlgorithm::decide(const Instance& instance, std::size_t t,
     // this as its rebuild+cold reference leg.
     const StaticSlotLp built = build_static_slot_lp(
         instance, t, include_operation_, include_service_quality_);
-    const solve::LpSolution sol = solve_or_die(built.lp, name_.c_str(), t);
+    const solve::LpSolution sol = solve_or_recover(built.lp, name_.c_str(), t);
     return extract_static(instance, sol.x);
   }
   // Tolerate direct decide() without a prior reset() (the historical
@@ -114,7 +125,16 @@ Allocation AtomisticAlgorithm::decide(const Instance& instance, std::size_t t,
     }
   }
   solve::InteriorPointLp().solve_into(built.lp, workspace_, warm, scratch_);
-  check_lp_solved(scratch_, name_.c_str(), t);
+  if (!lp_check(scratch_, name_.c_str(), t)) [[unlikely]] {
+    // Skeleton→rebuild fallback: distrust both the skeleton and the warm
+    // chain, rebuild the slot LP from scratch and solve it cold in a fresh
+    // workspace — bit-identical to the reuse_skeleton=false path (the
+    // refresh is bitwise-identical to a fresh build, so the rebuilt LP is
+    // the same problem).
+    const StaticSlotLp rebuilt = build_static_slot_lp(
+        instance, t, include_operation_, include_service_quality_);
+    scratch_ = solve_or_recover(rebuilt.lp, name_.c_str(), t);
+  }
   if (t == 0 && !has_anchor_) {
     anchor_ = scratch_;
     has_anchor_ = true;
@@ -149,7 +169,7 @@ Allocation OnlineGreedy::decide(const Instance& instance, std::size_t t,
                                 const Allocation& previous) {
   if (!options_.reuse_skeleton) {
     const GreedySlotLp built = build_greedy_slot_lp(instance, t, previous);
-    const solve::LpSolution sol = solve_or_die(built.lp, "online-greedy", t);
+    const solve::LpSolution sol = solve_or_recover(built.lp, "online-greedy", t);
     return built.extract(instance, sol.x);
   }
   if (!skeleton_) skeleton_.emplace(instance);
@@ -166,7 +186,11 @@ Allocation OnlineGreedy::decide(const Instance& instance, std::size_t t,
     if (obs::metrics_enabled()) BaselineMetrics::get().warm_chained.add(1);
   }
   solve::InteriorPointLp().solve_into(built.lp, workspace_, warm, scratch_);
-  check_lp_solved(scratch_, "online-greedy", t);
+  if (!lp_check(scratch_, "online-greedy", t)) [[unlikely]] {
+    // Same skeleton→rebuild fallback as the static baselines.
+    const GreedySlotLp rebuilt = build_greedy_slot_lp(instance, t, previous);
+    scratch_ = solve_or_recover(rebuilt.lp, "online-greedy", t);
+  }
   std::swap(last_, scratch_);
   last_t_ = static_cast<std::ptrdiff_t>(t);
   return built.extract(instance, last_.x);
@@ -177,12 +201,12 @@ void StaticOnce::reset(const Instance& instance) {
     const agg::ClassPartition part = agg::build_static_classes(instance, 0);
     const solve::LpProblem lp =
         agg::build_collapsed_static_lp(instance, 0, part, true, true);
-    const solve::LpSolution sol = solve_or_die(lp, "static-once", 0);
+    const solve::LpSolution sol = solve_or_recover(lp, "static-once", 0);
     fixed_ = agg::expand_static(instance, part, sol.x);
     return;
   }
   const StaticSlotLp built = build_static_slot_lp(instance, 0, true, true);
-  const solve::LpSolution sol = solve_or_die(built.lp, "static-once", 0);
+  const solve::LpSolution sol = solve_or_recover(built.lp, "static-once", 0);
   fixed_ = extract_static(instance, sol.x);
 }
 

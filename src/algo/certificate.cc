@@ -1,11 +1,84 @@
 #include "algo/certificate.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "common/check.h"
+#include "solve/kkt.h"
 
 namespace eca::algo {
+
+namespace {
+
+void add_violation(CertificateCheck& check, const char* what, double value,
+                   double limit) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: %.6g exceeds tolerance %.6g", what,
+                value, limit);
+  check.violations.emplace_back(buf);
+}
+
+}  // namespace
+
+CertificateCheck check_certificate(const solve::RegularizedProblem& problem,
+                                   const solve::RegularizedSolution& solution,
+                                   double tolerance) {
+  CertificateCheck check;
+  if (solution.status != solve::SolveStatus::kOptimal) {
+    check.violations.emplace_back(std::string("solver status is not optimal: ") +
+                                  solve::to_string(solution.status));
+    return check;
+  }
+  const std::size_t n = problem.num_clouds * problem.num_users;
+  if (solution.x.size() != n ||
+      solution.theta.size() != problem.num_users ||
+      solution.rho.size() != problem.num_clouds) {
+    check.violations.emplace_back("solution shape mismatch with problem");
+    return check;
+  }
+  for (const double v : solution.x) {
+    if (!std::isfinite(v)) {
+      check.violations.emplace_back("non-finite entry in primal solution");
+      return check;
+    }
+  }
+  // Relative tolerance on the same cost scale the solver's exit tests use:
+  // the linear costs plus the dynamic prices that enter the regularizers.
+  double scale = 1.0;
+  for (const double v : problem.linear_cost) scale = std::max(scale, std::abs(v));
+  for (const double v : problem.recon_price) scale = std::max(scale, v);
+  for (const double v : problem.migration_price) scale = std::max(scale, v);
+  const double limit = tolerance * scale;
+
+  const solve::KktReport report =
+      solve::check_regularized_kkt(problem, solution);
+  check.max_kkt_residual = report.worst();
+  check.worst_infeasibility = report.primal_infeasibility;
+  check.complementarity_gap = report.complementarity;
+  // Primal feasibility holds to near machine precision on every solver exit
+  // path (the iterates stay strictly interior); flag it at a tighter level
+  // than the dual-side residuals, matching the existing property tests.
+  const double primal_limit = std::max(1e-8, 1e-9 * scale);
+  if (report.primal_infeasibility > primal_limit) {
+    add_violation(check, "primal infeasibility", report.primal_infeasibility,
+                  primal_limit);
+  }
+  if (report.dual_infeasibility > limit) {
+    add_violation(check, "dual infeasibility", report.dual_infeasibility,
+                  limit);
+  }
+  if (report.stationarity > tolerance) {
+    add_violation(check, "stationarity residual", report.stationarity,
+                  tolerance);
+  }
+  if (report.complementarity > tolerance) {
+    add_violation(check, "complementarity gap", report.complementarity,
+                  tolerance);
+  }
+  return check;
+}
 
 void DualCertificate::add_slot(const model::Instance& instance, std::size_t t,
                                const solve::RegularizedSolution& solution) {

@@ -19,11 +19,37 @@
 // here so the bound applies to the full P0 objective.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "model/costs.h"
 #include "model/instance.h"
 #include "solve/regularized_solver.h"
 
 namespace eca::algo {
+
+// Structured verdict on one slot's P2 solution: the KKT residuals and
+// feasibility as data instead of a pass/fail bool, so harnesses can rank,
+// log and shrink on the worst violation instead of just aborting.
+struct CertificateCheck {
+  double max_kkt_residual = 0.0;      // worst of the four KKT components
+  double worst_infeasibility = 0.0;   // max primal constraint violation
+  double complementarity_gap = 0.0;   // max |multiplier * slack|
+  // Human-readable description of each failed invariant; empty = clean.
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+// Verifies a P2 solution against problem data: solver status, finiteness,
+// primal feasibility (demand / complement-capacity / non-negativity and,
+// when enforced, capacity), dual sign conditions, stationarity and
+// complementary slackness — all via solve::check_regularized_kkt.
+// `tolerance` is relative to the problem's cost scale
+// (1 + max |l_ij| + max c_i + max b_i); the default matches the
+// property-test levels in tests/solve/regularized_solver_test.cc.
+CertificateCheck check_certificate(const solve::RegularizedProblem& problem,
+                                   const solve::RegularizedSolution& solution,
+                                   double tolerance = 1e-4);
 
 class DualCertificate {
  public:

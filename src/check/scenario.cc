@@ -1,0 +1,322 @@
+#include "check/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace eca::check {
+
+namespace {
+
+constexpr std::size_t kMaxClouds = 64;
+constexpr std::size_t kMaxUsers = 4096;
+constexpr std::size_t kMaxSlots = 256;
+
+// Log-uniform sample in [lo, hi].
+double log_uniform(Rng& rng, double lo, double hi) {
+  return lo * std::exp(rng.uniform() * std::log(hi / lo));
+}
+
+}  // namespace
+
+std::string validate(const Scenario& s) {
+  if (s.num_clouds < 1 || s.num_clouds > kMaxClouds) {
+    return "num_clouds out of range";
+  }
+  if (s.num_users < 1 || s.num_users > kMaxUsers) {
+    return "num_users out of range";
+  }
+  if (s.num_slots < 1 || s.num_slots > kMaxSlots) {
+    return "num_slots out of range";
+  }
+  const int m = static_cast<int>(s.mobility);
+  if (m < 0 || m > 3) return "unknown mobility pattern";
+  if (!(s.demand_scale > 0.0) || !std::isfinite(s.demand_scale)) {
+    return "demand_scale must be positive and finite";
+  }
+  if (!(s.capacity_factor > 1.0) || !std::isfinite(s.capacity_factor)) {
+    return "capacity_factor must exceed 1";
+  }
+  if (!(s.price_scale >= 0.0) || !std::isfinite(s.price_scale)) {
+    return "price_scale must be non-negative and finite";
+  }
+  if (!(s.eps1 > 0.0) || !(s.eps2 > 0.0)) return "eps1/eps2 must be positive";
+  if (!(s.mu > 0.0) || !std::isfinite(s.mu)) return "mu must be positive";
+  return "";
+}
+
+model::Instance materialize(const Scenario& s) {
+  ECA_CHECK(validate(s).empty(), "invalid scenario: ", validate(s));
+  const std::size_t kI = s.num_clouds;
+  const std::size_t kJ = s.num_users;
+  const std::size_t kT = s.num_slots;
+  Rng rng(s.seed);
+  Rng price_rng = rng.split(1);
+  Rng mobility_rng = rng.split(2);
+  Rng demand_rng = rng.split(3);
+
+  model::Instance instance;
+  instance.num_clouds = kI;
+  instance.num_users = kJ;
+  instance.num_slots = kT;
+  instance.weights = model::CostWeights::from_mu(s.mu);
+
+  // Demands: uniform by default, Pareto (truncated at 25x the scale floor)
+  // for the extreme-ratio regime.
+  instance.demand.resize(kJ);
+  for (std::size_t j = 0; j < kJ; ++j) {
+    double base = s.heavy_tailed
+                      ? std::min(demand_rng.pareto(1.5, 0.5), 12.5)
+                      : demand_rng.uniform(0.5, 2.0);
+    instance.demand[j] = base * s.demand_scale;
+  }
+  const double total_demand = linalg::sum(instance.demand);
+
+  // Capacities: random shares of capacity_factor x total demand, floored at
+  // 2% of the total so no cloud degenerates to zero.
+  model::Vec share(kI);
+  double share_sum = 0.0;
+  for (std::size_t i = 0; i < kI; ++i) {
+    share[i] = price_rng.uniform(0.5, 1.5);
+    share_sum += share[i];
+  }
+  const double total_capacity = s.capacity_factor * total_demand;
+  instance.clouds.resize(kI);
+  for (std::size_t i = 0; i < kI; ++i) {
+    model::EdgeCloud& cloud = instance.clouds[i];
+    cloud.capacity =
+        std::max(total_capacity * share[i] / share_sum, 0.02 * total_capacity);
+    cloud.reconfiguration_price = price_rng.uniform(0.5, 2.0) * s.price_scale;
+    cloud.migration_out_price = price_rng.uniform(0.25, 1.0) * s.price_scale;
+    cloud.migration_in_price = price_rng.uniform(0.25, 1.0) * s.price_scale;
+  }
+
+  // Symmetric inter-cloud delays with zero diagonal.
+  instance.inter_cloud_delay.assign(kI, model::Vec(kI, 0.0));
+  for (std::size_t i = 0; i < kI; ++i) {
+    for (std::size_t k = i + 1; k < kI; ++k) {
+      const double d = price_rng.uniform(0.5, 3.0);
+      instance.inter_cloud_delay[i][k] = d;
+      instance.inter_cloud_delay[k][i] = d;
+    }
+  }
+
+  // Per-slot operation prices.
+  instance.operation_price.assign(kT, model::Vec(kI, 0.0));
+  for (std::size_t t = 0; t < kT; ++t) {
+    for (std::size_t i = 0; i < kI; ++i) {
+      instance.operation_price[t][i] = price_rng.uniform(0.5, 2.0);
+    }
+  }
+
+  // Attachment trajectories by mobility pattern.
+  instance.attachment.assign(kT, std::vector<std::size_t>(kJ, 0));
+  switch (s.mobility) {
+    case Mobility::kRandom:
+      for (std::size_t t = 0; t < kT; ++t) {
+        for (std::size_t j = 0; j < kJ; ++j) {
+          instance.attachment[t][j] = mobility_rng.uniform_index(kI);
+        }
+      }
+      break;
+    case Mobility::kStatic:
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t home = mobility_rng.uniform_index(kI);
+        for (std::size_t t = 0; t < kT; ++t) instance.attachment[t][j] = home;
+      }
+      break;
+    case Mobility::kPingPong:
+      // Adversarial for the regularizer: each user alternates between two
+      // clouds every slot, maximizing pressure on the migration term.
+      for (std::size_t j = 0; j < kJ; ++j) {
+        const std::size_t a = mobility_rng.uniform_index(kI);
+        const std::size_t b = kI > 1 ? (a + 1 + mobility_rng.uniform_index(
+                                                   kI - 1)) % kI
+                                     : a;
+        for (std::size_t t = 0; t < kT; ++t) {
+          instance.attachment[t][j] = (t % 2 == 0) ? a : b;
+        }
+      }
+      break;
+    case Mobility::kHerd:
+      // Everyone co-located, and the herd moves to a fresh cloud each slot:
+      // worst case for reconfiguration since whole-capacity blocks shift.
+      for (std::size_t t = 0; t < kT; ++t) {
+        const std::size_t station = mobility_rng.uniform_index(kI);
+        for (std::size_t j = 0; j < kJ; ++j) {
+          instance.attachment[t][j] = station;
+        }
+      }
+      break;
+  }
+
+  // Access delays (the additive constant of the service-quality cost).
+  instance.access_delay.assign(kT, model::Vec(kJ, 0.0));
+  for (std::size_t t = 0; t < kT; ++t) {
+    for (std::size_t j = 0; j < kJ; ++j) {
+      instance.access_delay[t][j] = mobility_rng.uniform(0.0, 1.0);
+    }
+  }
+
+  const std::string problem = instance.validate();
+  ECA_CHECK(problem.empty(), "materialized instance invalid: ", problem);
+  return instance;
+}
+
+Scenario generate_scenario(Rng& rng) {
+  Scenario s;
+  s.seed = rng();
+  // Shapes: mostly small-but-nontrivial, with a deliberate degenerate share
+  // (single cloud / user / slot) where index arithmetic and the complement
+  // constraint (absent at I=1) historically hide bugs.
+  const double shape_draw = rng.uniform();
+  if (shape_draw < 0.05) {
+    s.num_clouds = 1;
+    s.num_users = 1 + rng.uniform_index(4);
+    s.num_slots = 1 + rng.uniform_index(4);
+  } else if (shape_draw < 0.10) {
+    s.num_clouds = 2 + rng.uniform_index(3);
+    s.num_users = 1;
+    s.num_slots = 1 + rng.uniform_index(4);
+  } else if (shape_draw < 0.15) {
+    s.num_clouds = 2 + rng.uniform_index(3);
+    s.num_users = 1 + rng.uniform_index(6);
+    s.num_slots = 1;
+  } else {
+    s.num_clouds = 2 + rng.uniform_index(4);   // 2..5
+    s.num_users = 2 + rng.uniform_index(9);    // 2..10
+    s.num_slots = 2 + rng.uniform_index(5);    // 2..6
+  }
+  s.mobility = static_cast<Mobility>(rng.uniform_index(4));
+  s.demand_scale = log_uniform(rng, 0.25, 4.0);
+  s.heavy_tailed = rng.bernoulli(0.25);
+  s.capacity_factor = rng.uniform(1.1, 4.0);
+  s.price_scale = log_uniform(rng, 0.1, 4.0);
+  s.eps1 = log_uniform(rng, 0.05, 4.0);
+  s.eps2 = log_uniform(rng, 0.05, 4.0);
+  s.enforce_capacity = rng.bernoulli(0.5);
+  s.mu = log_uniform(rng, 0.25, 4.0);
+  return s;
+}
+
+namespace {
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += '\n';
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_replay(const Scenario& s) {
+  std::string out = "eca.prop.v1\n";
+  append_kv(out, "seed", fmt_u64(s.seed));
+  append_kv(out, "clouds", fmt_u64(s.num_clouds));
+  append_kv(out, "users", fmt_u64(s.num_users));
+  append_kv(out, "slots", fmt_u64(s.num_slots));
+  append_kv(out, "mobility", std::to_string(static_cast<int>(s.mobility)));
+  append_kv(out, "demand_scale", fmt_double(s.demand_scale));
+  append_kv(out, "heavy_tailed", s.heavy_tailed ? "1" : "0");
+  append_kv(out, "capacity_factor", fmt_double(s.capacity_factor));
+  append_kv(out, "price_scale", fmt_double(s.price_scale));
+  append_kv(out, "eps1", fmt_double(s.eps1));
+  append_kv(out, "eps2", fmt_double(s.eps2));
+  append_kv(out, "enforce_capacity", s.enforce_capacity ? "1" : "0");
+  append_kv(out, "mu", fmt_double(s.mu));
+  return out;
+}
+
+bool from_replay(const std::string& text, Scenario& out, std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) return fail("empty replay");
+  // Tolerate a trailing carriage return from files edited on Windows.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != "eca.prop.v1") {
+    return fail("unknown replay schema '" + line + "' (expected eca.prop.v1)");
+  }
+  Scenario s;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("malformed line '" + line + "'");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        s.seed = std::stoull(value);
+      } else if (key == "clouds") {
+        s.num_clouds = std::stoull(value);
+      } else if (key == "users") {
+        s.num_users = std::stoull(value);
+      } else if (key == "slots") {
+        s.num_slots = std::stoull(value);
+      } else if (key == "mobility") {
+        s.mobility = static_cast<Mobility>(std::stoi(value));
+      } else if (key == "demand_scale") {
+        s.demand_scale = std::stod(value);
+      } else if (key == "heavy_tailed") {
+        s.heavy_tailed = value != "0";
+      } else if (key == "capacity_factor") {
+        s.capacity_factor = std::stod(value);
+      } else if (key == "price_scale") {
+        s.price_scale = std::stod(value);
+      } else if (key == "eps1") {
+        s.eps1 = std::stod(value);
+      } else if (key == "eps2") {
+        s.eps2 = std::stod(value);
+      } else if (key == "enforce_capacity") {
+        s.enforce_capacity = value != "0";
+      } else if (key == "mu") {
+        s.mu = std::stod(value);
+      } else {
+        return fail("unknown replay key '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return fail("unparseable value for '" + key + "': '" + value + "'");
+    }
+  }
+  const std::string problem = validate(s);
+  if (!problem.empty()) return fail("invalid scenario: " + problem);
+  out = s;
+  return true;
+}
+
+bool save_replay(const std::string& path, const Scenario& scenario) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_replay(scenario);
+  return static_cast<bool>(os);
+}
+
+bool load_replay(const std::string& path, Scenario& out, std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return from_replay(buffer.str(), out, error);
+}
+
+}  // namespace eca::check

@@ -1,0 +1,78 @@
+// Randomized scenario generation for the property-based verification
+// harness (DESIGN.md §13).
+//
+// A Scenario is a small, flat description of one randomized test case: the
+// instance shape (I/J/T including degenerate single-cloud / single-user /
+// single-slot forms), a mobility pattern (iid, static, adversarial
+// ping-pong, herd), and the knobs that stress the solvers (demand and price
+// scales, heavy-tailed demand ratios, capacity head-room, ε1/ε2, the
+// capacity-row toggle and the objective weight ratio). Everything else —
+// prices, delays, attachments — is derived deterministically from the
+// scenario's seed, so a Scenario is a complete, replayable witness: the
+// same struct always materializes the bit-identical model::Instance.
+//
+// The replay format ("eca.prop.v1") is line-oriented key=value text with
+// doubles printed at full precision, append-friendly and diffable; the
+// harness writes one replay file per (shrunk) failure and `prop_fuzz
+// --replay <file>` re-runs it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "model/instance.h"
+
+namespace eca::check {
+
+// Mobility patterns for the attachment trajectory l_{j,t}.
+enum class Mobility : int {
+  kRandom = 0,    // iid uniform attachment per (user, slot)
+  kStatic = 1,    // attachment frozen at slot 0 (no movement)
+  kPingPong = 2,  // adversarial: every user oscillates between two clouds
+  kHerd = 3,      // all users co-located; the herd jumps every slot
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;  // drives every derived quantity
+  std::size_t num_clouds = 3;
+  std::size_t num_users = 4;
+  std::size_t num_slots = 3;
+  Mobility mobility = Mobility::kRandom;
+  double demand_scale = 1.0;     // multiplies every λ_j
+  bool heavy_tailed = false;     // Pareto demand (extreme λ ratios)
+  double capacity_factor = 1.5;  // total capacity / total demand (> 1)
+  double price_scale = 1.0;      // multiplies dynamic prices c_i, b_i
+  double eps1 = 1.0;             // P2 reconfiguration regularizer
+  double eps2 = 1.0;             // P2 migration regularizer
+  bool enforce_capacity = true;  // explicit capacity rows in P2
+  double mu = 1.0;               // dynamic/static weight ratio
+};
+
+// Bounds check (shape floors/caps, positive knobs); empty string when the
+// scenario is materializable.
+std::string validate(const Scenario& scenario);
+
+// Deterministically expands the scenario into a full P0 instance. The
+// result passes Instance::validate() and admits a feasible allocation
+// (total capacity = capacity_factor x total demand with a per-cloud floor).
+model::Instance materialize(const Scenario& scenario);
+
+// Samples one scenario across the full knob space: ~15% degenerate shapes
+// (I=1, J=1 or T=1), all four mobility patterns, log-uniform demand/price
+// scales, heavy tails, tight and loose capacity, extreme ε1/ε2 and both
+// capacity-row modes.
+Scenario generate_scenario(Rng& rng);
+
+// Replay serialization, schema "eca.prop.v1". from_replay rejects unknown
+// schemas and malformed lines (returns false and fills *error when given).
+std::string to_replay(const Scenario& scenario);
+bool from_replay(const std::string& text, Scenario& out,
+                 std::string* error = nullptr);
+
+// File helpers; save returns false on IO failure, load on IO/parse failure.
+bool save_replay(const std::string& path, const Scenario& scenario);
+bool load_replay(const std::string& path, Scenario& out,
+                 std::string* error = nullptr);
+
+}  // namespace eca::check

@@ -1,0 +1,119 @@
+#include "check/shrink.h"
+
+#include <functional>
+#include <vector>
+
+namespace eca::check {
+
+namespace {
+
+using Transform = std::function<bool(Scenario&)>;  // false = not applicable
+
+// The reduction moves, ordered from most to least aggressive: big size cuts
+// first so the expensive evaluations happen on shrinking instances, knob
+// neutralization last. Each returns false when it would not change the
+// scenario (already minimal on that axis).
+std::vector<Transform> reduction_moves() {
+  std::vector<Transform> moves;
+  moves.push_back([](Scenario& s) {
+    if (s.num_users <= 1) return false;
+    s.num_users = (s.num_users + 1) / 2;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.num_slots <= 1) return false;
+    s.num_slots = (s.num_slots + 1) / 2;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.num_clouds <= 1) return false;
+    s.num_clouds = (s.num_clouds + 1) / 2;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.num_users <= 1) return false;
+    --s.num_users;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.num_slots <= 1) return false;
+    --s.num_slots;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.num_clouds <= 1) return false;
+    --s.num_clouds;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.mobility == Mobility::kStatic) return false;
+    s.mobility = Mobility::kStatic;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (!s.heavy_tailed) return false;
+    s.heavy_tailed = false;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.demand_scale == 1.0) return false;
+    s.demand_scale = 1.0;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.price_scale == 1.0) return false;
+    s.price_scale = 1.0;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.capacity_factor == 2.0) return false;
+    s.capacity_factor = 2.0;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.eps1 == 1.0) return false;
+    s.eps1 = 1.0;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.eps2 == 1.0) return false;
+    s.eps2 = 1.0;
+    return true;
+  });
+  moves.push_back([](Scenario& s) {
+    if (s.mu == 1.0) return false;
+    s.mu = 1.0;
+    return true;
+  });
+  return moves;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const OracleOptions& options,
+                    int max_evaluations) {
+  ShrinkResult result;
+  result.scenario = failing;
+  ++result.evaluations;
+  if (run_oracle(failing, options).ok()) return result;  // nothing to shrink
+
+  const std::vector<Transform> moves = reduction_moves();
+  bool progressed = true;
+  while (progressed && result.evaluations < max_evaluations) {
+    progressed = false;
+    for (const Transform& move : moves) {
+      if (result.evaluations >= max_evaluations) break;
+      Scenario candidate = result.scenario;
+      if (!move(candidate)) continue;
+      ++result.evaluations;
+      if (!run_oracle(candidate, options).ok()) {
+        result.scenario = candidate;
+        ++result.accepted;
+        progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace eca::check

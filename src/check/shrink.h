@@ -1,0 +1,30 @@
+// Greedy test-case shrinking (DESIGN.md §13).
+//
+// Given a failing scenario, repeatedly applies size and knob reductions —
+// halve/decrement users, slots, clouds; neutralize scales, tails, ε's and
+// the weight ratio; simplify mobility to static — keeping a reduction only
+// when the oracle still fails on the reduced scenario. The loop runs to a
+// fixpoint (one full pass with no accepted reduction) under an evaluation
+// budget, so the result is a locally-minimal witness: removing any further
+// axis makes the failure disappear. Determinism of the oracle (and of the
+// fault plan, which run_oracle re-installs per evaluation) makes the shrink
+// reproducible from the original scenario alone.
+#pragma once
+
+#include "check/oracle.h"
+#include "check/scenario.h"
+
+namespace eca::check {
+
+struct ShrinkResult {
+  Scenario scenario;    // the minimal failing scenario found
+  int accepted = 0;     // reductions that kept the failure alive
+  int evaluations = 0;  // oracle runs spent
+};
+
+// Requires run_oracle(failing, options) to fail; returns `failing`
+// unchanged (with zero accepted steps) when it does not.
+ShrinkResult shrink(const Scenario& failing, const OracleOptions& options,
+                    int max_evaluations = 200);
+
+}  // namespace eca::check

@@ -202,8 +202,18 @@ std::atomic<EventLog*> g_events{nullptr};
 std::once_flag g_events_init;
 
 void init_global_events_from_env() {
+  EventLogOptions options;
+  if (!events_options_from_env(options)) return;
+  std::lock_guard<std::mutex> lock(g_events_mutex);
+  global_events_slot() = std::make_unique<EventLog>(std::move(options));
+  g_events.store(global_events_slot().get(), std::memory_order_release);
+}
+
+}  // namespace
+
+bool events_options_from_env(EventLogOptions& options) {
   const char* path = std::getenv("ECA_EVENTS");
-  if (path == nullptr) return;
+  if (path == nullptr) return false;
   // Same fail-fast contract as ECA_METRICS: a set-but-useless value must
   // not silently run an unobserved configuration.
   if (path[0] == '\0') {
@@ -212,7 +222,6 @@ void init_global_events_from_env() {
                  "output path; unset it to disable event streaming)\n");
     std::exit(2);
   }
-  EventLogOptions options;
   options.path = path;
   if (const char* cap = std::getenv("ECA_EVENTS_CAP")) {
     char* end = nullptr;
@@ -236,12 +245,8 @@ void init_global_events_from_env() {
       std::exit(2);
     }
   }
-  std::lock_guard<std::mutex> lock(g_events_mutex);
-  global_events_slot() = std::make_unique<EventLog>(std::move(options));
-  g_events.store(global_events_slot().get(), std::memory_order_release);
+  return true;
 }
-
-}  // namespace
 
 EventLog* global_events() {
   std::call_once(g_events_init, init_global_events_from_env);

@@ -122,6 +122,13 @@ class EventLog {
   bool flushed_ = false;
 };
 
+// Parses ECA_EVENTS / ECA_EVENTS_CAP into `options`, failing fast with
+// exit(2) on any set-but-invalid value (empty path, unwritable path,
+// non-numeric or < 1 cap). Returns false when ECA_EVENTS is unset. The
+// global_events() initialization calls this once on first use; exposed so
+// death tests can exercise the validation directly.
+bool events_options_from_env(EventLogOptions& options);
+
 // The env-configured (ECA_EVENTS=<path>) process-global log; nullptr when
 // event streaming is disabled. Flushed by a static destructor at exit.
 EventLog* global_events();

@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -114,10 +116,8 @@ void init_global_trace_from_env() {
   if (path == nullptr || path[0] == '\0') return;
   TraceOptions options;
   options.path = path;
-  const char* cap = std::getenv("ECA_TRACE_CAP");
-  if (cap != nullptr) {
-    const long long parsed = std::atoll(cap);
-    if (parsed > 0) options.capacity = static_cast<std::size_t>(parsed);
+  if (const std::size_t cap = trace_cap_from_env(); cap > 0) {
+    options.capacity = cap;
   }
   std::lock_guard<std::mutex> lock(g_trace_mutex);
   global_trace_slot() = std::make_unique<TraceSession>(std::move(options));
@@ -125,6 +125,25 @@ void init_global_trace_from_env() {
 }
 
 }  // namespace
+
+std::size_t trace_cap_from_env() {
+  const char* cap = std::getenv("ECA_TRACE_CAP");
+  if (cap == nullptr) return 0;
+  // Fail-fast contract shared by every ECA_* knob: a set-but-invalid cap
+  // (previously silently ignored by atoll) must not run a configuration
+  // the user did not ask for.
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(cap, &end, 10);
+  if (errno != 0 || end == cap || *end != '\0' || parsed < 1) {
+    std::fprintf(stderr,
+                 "error: ECA_TRACE_CAP='%s' is invalid (must be an integer "
+                 ">= 1; unset it for the default)\n",
+                 cap);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
 
 TraceSession* global_trace() {
   std::call_once(g_trace_init, init_global_trace_from_env);

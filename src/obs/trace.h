@@ -93,6 +93,12 @@ class TraceSession {
 
 // The env-configured (ECA_TRACE=<path>) process-global session; nullptr
 // when tracing is disabled. Flushed by a static destructor at exit.
+// Parses ECA_TRACE_CAP, failing fast with exit(2) when the value is set
+// but not a positive integer; returns 0 when unset. Read once by the
+// global_trace() initialization; exposed so death tests can exercise the
+// validation directly.
+std::size_t trace_cap_from_env();
+
 TraceSession* global_trace();
 // Replaces the global session (tests, embedders). The registry takes
 // ownership; the previous session is flushed and destroyed. Pass nullptr

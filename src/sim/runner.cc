@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <utility>
 
 #include "algo/baselines.h"
@@ -31,6 +32,32 @@ std::vector<NamedFactory> paper_algorithms(bool include_static_once) {
   return out;
 }
 
+std::string telemetry_dir_from_env() {
+  const char* dir = std::getenv("ECA_TELEMETRY_DIR");
+  if (dir == nullptr) return "";
+  if (dir[0] == '\0') {
+    std::fprintf(stderr,
+                 "error: ECA_TELEMETRY_DIR is set but empty (must name an "
+                 "existing directory; unset it to disable)\n");
+    std::exit(2);
+  }
+  // Probe writability up front — discovering a bad directory after a long
+  // sweep would lose every telemetry dump the run produced.
+  const std::string probe_path = std::string(dir) + "/.eca_telemetry_probe";
+  {
+    std::ofstream probe(probe_path);
+    if (!probe) {
+      std::fprintf(stderr,
+                   "error: ECA_TELEMETRY_DIR='%s' is not writable (must "
+                   "name an existing, writable directory)\n",
+                   dir);
+      std::exit(2);
+    }
+  }
+  std::remove(probe_path.c_str());
+  return dir;
+}
+
 const AlgorithmSummary* ExperimentResult::find(const std::string& name) const {
   for (const auto& summary : algorithms) {
     if (summary.name == name) return &summary;
@@ -52,18 +79,10 @@ struct RepState {
 };
 
 // Resolves the telemetry dump directory: an explicit option wins, else
-// ECA_TELEMETRY_DIR. Set-but-empty fail-fasts like every observability knob.
+// ECA_TELEMETRY_DIR (see telemetry_dir_from_env).
 std::string telemetry_dir_from(const ExperimentOptions& options) {
   if (!options.telemetry_dir.empty()) return options.telemetry_dir;
-  const char* dir = std::getenv("ECA_TELEMETRY_DIR");
-  if (dir == nullptr) return "";
-  if (dir[0] == '\0') {
-    std::fprintf(stderr,
-                 "error: ECA_TELEMETRY_DIR is set but empty (must name an "
-                 "existing directory; unset it to disable)\n");
-    std::exit(2);
-  }
-  return dir;
+  return telemetry_dir_from_env();
 }
 
 void dump_telemetry(const std::string& dir, std::size_t rep,

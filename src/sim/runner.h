@@ -29,6 +29,12 @@ struct NamedFactory {
 // The standard algorithm roster of the paper's figures.
 std::vector<NamedFactory> paper_algorithms(bool include_static_once = false);
 
+// Resolves ECA_TELEMETRY_DIR: returns "" when unset; fails fast with
+// exit(2) when the variable is set but empty or names a directory a probe
+// file cannot be created in. Exposed so death tests can exercise the
+// validation directly.
+std::string telemetry_dir_from_env();
+
 struct ExperimentOptions {
   int repetitions = 3;
   std::uint64_t base_seed = 1;

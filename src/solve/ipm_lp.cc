@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "linalg/dense_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -355,6 +356,9 @@ void InteriorPointLp::solve_into(const LpProblem& lp, IpmWorkspace& ws,
   ECA_TRACE_SPAN("ipm_solve");
   if (obs::metrics_enabled()) IpmMetrics::get().solves.add(1);
   solve_attempt(lp, ws, warm, sol);
+  if (fault_fire(FaultSite::kIpmFail)) [[unlikely]] {
+    sol.status = SolveStatus::kNumericalError;
+  }
   if (sol.warm_started && sol.status != SolveStatus::kOptimal) {
     // The hint steered the iteration somewhere the cold start would not
     // have gone (divergence heuristics can mistake a bad trajectory for
@@ -366,6 +370,11 @@ void InteriorPointLp::solve_into(const LpProblem& lp, IpmWorkspace& ws,
         "retrying cold",
         to_string(sol.status), sol.iterations);
     solve_attempt(lp, ws, IpmWarmStart{}, sol);
+    // The retry counts as an ipm_fail hit of its own: occurrences number
+    // completed attempts, not solve_into calls.
+    if (fault_fire(FaultSite::kIpmFail)) [[unlikely]] {
+      sol.status = SolveStatus::kNumericalError;
+    }
     sol.warm_fallback = true;
   }
 }

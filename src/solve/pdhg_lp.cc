@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "linalg/kernels.h"
@@ -460,6 +461,11 @@ LpSolution PdhgLp::solve(const LpProblem& lp) const {
     kernel_s.add(kernel_seconds);
     kkt_s.add(kkt_seconds);
     threads_gauge.set(static_cast<double>(threads));
+  }
+  // Fault seam: one solve reports iteration-cap exhaustion after running,
+  // so callers' failure handling is exercised on an otherwise-good solve.
+  if (fault_fire(FaultSite::kPdhgFail)) [[unlikely]] {
+    sol.status = SolveStatus::kIterationLimit;
   }
   return sol;
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "linalg/dense_matrix.h"
 #include "linalg/kernels.h"
@@ -526,7 +528,8 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
       ws.x[idx] = (1.0 - blend) * p.prev[idx] + blend * ws.dx[idx];
     }
     recompute_slacks();
-    if (warm_point_usable(p, ws, has_comp, has_cap, lambda_total)) {
+    if (warm_point_usable(p, ws, has_comp, has_cap, lambda_total) &&
+        !fault_fire(FaultSite::kWarmReject)) {
       // Carry the previous duals, floored away from zero so every
       // complementarity pair stays interior. The barrier continuation is
       // implicit: the loop below re-derives μ from the current average
@@ -775,7 +778,7 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
     });
   };
 
-  const int max_iterations = 200;
+  const int max_iterations = fault_fire(FaultSite::kIterCap) ? 1 : 200;
   int iter = 0;
   bool converged = false;
   // Exit-time KKT telemetry (cost-scale relative) and the μ-continuation
@@ -864,6 +867,10 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
     }
     const double score = std::max(comp_avg / cost_scale,
                                   dual_resid_norm / cost_scale);
+    // A poisoned iterate (NaN/∞ reaching x through a bad Newton step) can
+    // neither improve the best point nor satisfy the convergence test; bail
+    // out to the best finite iterate instead of spinning the budget down.
+    if (!std::isfinite(score)) break;
     if (score < best_score) {
       best_score = score;
       best_comp_avg = exit_comp_avg;
@@ -1014,7 +1021,8 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
         1.0 - rb + total_sum * beta_sum + qb - r_cap * beta_sum;
     {
       const std::uint64_t factor_t0 = metrics_on ? obs::steady_clock_ns() : 0;
-      const bool factored = ws.lu.factor(ws.s_mat);
+      const bool factored =
+          ws.lu.factor(ws.s_mat) && !fault_fire(FaultSite::kSchurSingular);
       if (metrics_on) factor_ns += obs::steady_clock_ns() - factor_t0;
       if (!factored) break;  // fall back to the best iterate
     }
@@ -1056,6 +1064,9 @@ RegularizedSolution RegularizedSolver::solve_dense(const RegularizedProblem& p,
     for (int refine = 0; refine < 2; ++refine) {
       apply_matrix_residual(ws.dx, ws.rhs, ws.residual);
       apply_inverse(ws.residual, ws.dx, /*accumulate=*/true);
+    }
+    if (fault_fire(FaultSite::kNewtonNan)) [[unlikely]] {
+      ws.dx[0] = std::numeric_limits<double>::quiet_NaN();
     }
 
     // --- Dual steps + fraction-to-boundary step lengths --------------------
@@ -1554,7 +1565,7 @@ RegularizedSolution RegularizedSolver::solve_active(
         ws.xs[pos] = (1.0 - blend) * ws.prev_s[pos] + blend * ws.dx_s[pos];
       }
       recompute_slacks();
-      if (warm_usable()) {
+      if (warm_usable() && !fault_fire(FaultSite::kWarmReject)) {
         const double floor_v = 1e-12 * cost_scale;
         for (std::size_t j = 0; j < kJ; ++j) {
           for (std::size_t pos = ws.sup_off[j]; pos < ws.sup_off[j + 1];
@@ -1766,7 +1777,7 @@ RegularizedSolution RegularizedSolver::solve_active(
       });
     };
 
-    const int max_iterations = 200;
+    const int max_iterations = fault_fire(FaultSite::kIterCap) ? 1 : 200;
     int iter = 0;
     bool converged = false;
     int mu_steps = 0;
@@ -1848,6 +1859,8 @@ RegularizedSolution RegularizedSolver::solve_active(
       }
       const double score =
           std::max(comp_avg / cost_scale, dual_resid_norm / cost_scale);
+      // Same non-finite bailout as the dense loop (see there).
+      if (!std::isfinite(score)) break;
       if (score < best_score) {
         best_score = score;
         best_comp_avg = exit_comp;
@@ -1997,7 +2010,8 @@ RegularizedSolution RegularizedSolver::solve_active(
       {
         const std::uint64_t factor_t0 =
             metrics_on ? obs::steady_clock_ns() : 0;
-        const bool factored = ws.lu.factor(ws.s_mat);
+        const bool factored =
+            ws.lu.factor(ws.s_mat) && !fault_fire(FaultSite::kSchurSingular);
         if (metrics_on) factor_ns += obs::steady_clock_ns() - factor_t0;
         if (!factored) break;  // fall back to the best iterate
       }
@@ -2036,6 +2050,9 @@ RegularizedSolution RegularizedSolver::solve_active(
       for (int refine = 0; refine < 2; ++refine) {
         apply_matrix_residual(ws.dx_s, ws.rhs_s, ws.resid_s);
         apply_inverse(ws.resid_s, ws.dx_s, /*accumulate=*/true);
+      }
+      if (fault_fire(FaultSite::kNewtonNan)) [[unlikely]] {
+        ws.dx_s[0] = std::numeric_limits<double>::quiet_NaN();
       }
 
       // --- Dual steps + fraction-to-boundary ------------------------------

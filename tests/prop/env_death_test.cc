@@ -1,0 +1,149 @@
+// Fail-fast contract of the ECA_* environment knobs: a set-but-invalid
+// value is a fatal configuration error (exit(2)), never a silently ignored
+// or defaulted one. Each parser is public exactly so these death tests can
+// drive the validation directly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "check/harness.h"
+#include "obs/events.h"
+#include "obs/trace.h"
+#include "sim/runner.h"
+
+namespace {
+
+// Scoped setenv/unsetenv so a death test cannot leak its poisoned value
+// into later tests in the binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(EnvDeathTest, TraceCapRejectsNonNumeric) {
+  ScopedEnv cap("ECA_TRACE_CAP", "abc");
+  EXPECT_EXIT(eca::obs::trace_cap_from_env(), ::testing::ExitedWithCode(2),
+              "ECA_TRACE_CAP");
+}
+
+TEST(EnvDeathTest, TraceCapRejectsZero) {
+  ScopedEnv cap("ECA_TRACE_CAP", "0");
+  EXPECT_EXIT(eca::obs::trace_cap_from_env(), ::testing::ExitedWithCode(2),
+              "ECA_TRACE_CAP");
+}
+
+TEST(EnvDeathTest, TraceCapParsesValidValue) {
+  ScopedEnv cap("ECA_TRACE_CAP", "4096");
+  EXPECT_EQ(eca::obs::trace_cap_from_env(), 4096u);
+}
+
+TEST(EnvDeathTest, EventsCapRejectsZero) {
+  const std::string path = ::testing::TempDir() + "events_death.jsonl";
+  ScopedEnv events("ECA_EVENTS", path.c_str());
+  ScopedEnv cap("ECA_EVENTS_CAP", "0");
+  eca::obs::EventLogOptions options;
+  EXPECT_EXIT(eca::obs::events_options_from_env(options),
+              ::testing::ExitedWithCode(2), "ECA_EVENTS_CAP");
+}
+
+TEST(EnvDeathTest, EventsRejectsEmptyPath) {
+  ScopedEnv events("ECA_EVENTS", "");
+  eca::obs::EventLogOptions options;
+  EXPECT_EXIT(eca::obs::events_options_from_env(options),
+              ::testing::ExitedWithCode(2), "ECA_EVENTS");
+}
+
+TEST(EnvDeathTest, EventsRejectsUnwritablePath) {
+  ScopedEnv events("ECA_EVENTS", "/nonexistent_eca_dir/events.jsonl");
+  eca::obs::EventLogOptions options;
+  EXPECT_EXIT(eca::obs::events_options_from_env(options),
+              ::testing::ExitedWithCode(2), "not writable");
+}
+
+TEST(EnvDeathTest, TelemetryDirRejectsEmptyValue) {
+  ScopedEnv dir("ECA_TELEMETRY_DIR", "");
+  EXPECT_EXIT(eca::sim::telemetry_dir_from_env(),
+              ::testing::ExitedWithCode(2), "ECA_TELEMETRY_DIR");
+}
+
+TEST(EnvDeathTest, TelemetryDirRejectsUnwritableDirectory) {
+  ScopedEnv dir("ECA_TELEMETRY_DIR", "/nonexistent_eca_dir/telemetry");
+  EXPECT_EXIT(eca::sim::telemetry_dir_from_env(),
+              ::testing::ExitedWithCode(2), "not writable");
+}
+
+TEST(EnvDeathTest, TelemetryDirAcceptsWritableDirectory) {
+  const std::string dir_path = ::testing::TempDir();
+  ScopedEnv dir("ECA_TELEMETRY_DIR", dir_path.c_str());
+  EXPECT_EQ(eca::sim::telemetry_dir_from_env(), dir_path);
+}
+
+TEST(EnvDeathTest, PropSeedRejectsNonNumeric) {
+  ScopedEnv seed("ECA_PROP_SEED", "zzz");
+  EXPECT_EXIT(eca::check::prop_seed_from_env(1),
+              ::testing::ExitedWithCode(2), "ECA_PROP_SEED");
+}
+
+TEST(EnvDeathTest, PropSeedRejectsTrailingGarbage) {
+  ScopedEnv seed("ECA_PROP_SEED", "12x");
+  EXPECT_EXIT(eca::check::prop_seed_from_env(1),
+              ::testing::ExitedWithCode(2), "ECA_PROP_SEED");
+}
+
+TEST(EnvDeathTest, PropSeedParsesValidValue) {
+  ScopedEnv seed("ECA_PROP_SEED", "12345");
+  EXPECT_EQ(eca::check::prop_seed_from_env(1), 12345u);
+}
+
+TEST(EnvDeathTest, PropScenariosRejectsZeroAndNegative) {
+  {
+    ScopedEnv n("ECA_PROP_SCENARIOS", "0");
+    EXPECT_EXIT(eca::check::prop_scenarios_from_env(50),
+                ::testing::ExitedWithCode(2), "ECA_PROP_SCENARIOS");
+  }
+  {
+    ScopedEnv n("ECA_PROP_SCENARIOS", "-3");
+    EXPECT_EXIT(eca::check::prop_scenarios_from_env(50),
+                ::testing::ExitedWithCode(2), "ECA_PROP_SCENARIOS");
+  }
+}
+
+TEST(EnvDeathTest, PropScenariosRejectsOverCap) {
+  ScopedEnv n("ECA_PROP_SCENARIOS", "1000001");
+  EXPECT_EXIT(eca::check::prop_scenarios_from_env(50),
+              ::testing::ExitedWithCode(2), "ECA_PROP_SCENARIOS");
+}
+
+TEST(EnvDeathTest, PropScenariosParsesValidValue) {
+  ScopedEnv n("ECA_PROP_SCENARIOS", "200");
+  EXPECT_EQ(eca::check::prop_scenarios_from_env(50), 200);
+}
+
+TEST(EnvDeathTest, UnsetKnobsFallBack) {
+  ::unsetenv("ECA_PROP_SEED");
+  ::unsetenv("ECA_PROP_SCENARIOS");
+  ::unsetenv("ECA_TRACE_CAP");
+  EXPECT_EQ(eca::check::prop_seed_from_env(7), 7u);
+  EXPECT_EQ(eca::check::prop_scenarios_from_env(9), 9);
+  EXPECT_EQ(eca::obs::trace_cap_from_env(), 0u);
+}
+
+}  // namespace

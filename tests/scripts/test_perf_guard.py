@@ -1,0 +1,105 @@
+"""Golden tests for scripts/perf_guard.py: the property-harness summary
+gate (eca.prop_summary.v1) and the shared dispatch — valid inputs pass,
+corrupted JSON, unknown schemas and regressions fail with exit 1."""
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import fixtures  # noqa: E402
+
+
+class PerfGuardTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = pathlib.Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def test_clean_prop_summary_passes(self):
+        path = fixtures.write_json(self.dir / "prop_summary.json",
+                                   fixtures.make_prop_summary())
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("50 scenarios verified", proc.stdout)
+
+    def test_prop_summary_with_failures_fails(self):
+        path = fixtures.write_json(self.dir / "prop_summary.json",
+                                   fixtures.make_prop_summary(failures=2))
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("2 oracle violation(s)", proc.stderr)
+        # Each failure's seed and replay pointer are surfaced.
+        self.assertIn("seed 40", proc.stderr)
+        self.assertIn("prop_failure_0.replay", proc.stderr)
+
+    def test_prop_summary_with_zero_scenarios_fails(self):
+        summary = fixtures.make_prop_summary()
+        summary["scenarios"] = 0
+        path = fixtures.write_json(self.dir / "prop_summary.json", summary)
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("zero scenarios", proc.stderr)
+
+    def test_corrupted_json_fails(self):
+        path = self.dir / "prop_summary.json"
+        path.write_text('{"schema": "eca.prop_summary.v1",',
+                        encoding="utf-8")
+        proc = fixtures.run_script("perf_guard.py", str(path))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("FAIL", proc.stderr)
+
+    def test_unknown_schema_fails(self):
+        summary = fixtures.make_prop_summary()
+        summary["schema"] = "eca.prop_summary.v99"
+        path = fixtures.write_json(self.dir / "prop_summary.json", summary)
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unknown schema", proc.stderr)
+
+    def test_bench_solvers_still_dispatches(self):
+        path = fixtures.write_json(self.dir / "bench.json",
+                                   fixtures.make_bench_solvers())
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("sweep points", proc.stdout)
+
+    def test_bench_meta_checks_ok_passes(self):
+        path = fixtures.write_json(
+            self.dir / "bench.json",
+            fixtures.make_bench_solvers(prop_smoke={
+                "ok": True, "scenarios": 5, "failures": 0,
+                "wall_seconds": 0.07}))
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("prop smoke at bench time", proc.stdout)
+
+    def test_bench_meta_checks_failure_fails(self):
+        path = fixtures.write_json(
+            self.dir / "bench.json",
+            fixtures.make_bench_solvers(prop_smoke={
+                "ok": False, "scenarios": 5, "failures": 1,
+                "wall_seconds": 0.07}))
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("fails verification", proc.stderr)
+
+    def test_bench_meta_checks_skip_is_note(self):
+        path = fixtures.write_json(
+            self.dir / "bench.json",
+            fixtures.make_bench_solvers(prop_smoke={"skipped": True}))
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("prop smoke skipped", proc.stdout)
+
+    def test_bench_bit_identity_regression_fails(self):
+        path = fixtures.write_json(
+            self.dir / "bench.json",
+            fixtures.make_bench_solvers(bit_identical=False))
+        proc = fixtures.run_script("perf_guard.py", path)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("bit_identical=false", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
